@@ -1,0 +1,164 @@
+//! Fig. 10: average send()/recv() latency under echo load, across the
+//! syscall-optimization systems: baseline, UB, io_uring, io_uring-batch,
+//! zero-copy send, and Copier.
+//!
+//! Paper shape: Copier cuts send by 7–37% and recv by 16–92%; UB's gain
+//! fades with size; zero-copy wins only for large sends; io_uring alone
+//! doesn't shorten the data path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use copier_bench::{kb, row, section, stats};
+use copier_mem::Prot;
+use copier_os::{IoMode, NetStack, Os, Sqe, Uring};
+use copier_sim::{Machine, Nanos, Sim};
+
+const ROUNDS: usize = 60;
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Sys {
+    Baseline,
+    Ub,
+    IoUring,
+    IoUringBatch,
+    ZeroCopy,
+    Copier,
+    CopierBatch,
+}
+
+/// Measures average send / recv syscall latency for `len`-byte messages.
+fn run(sys: Sys, len: usize) -> (Nanos, Nanos) {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 3);
+    let os = Os::boot(&h, machine, 16 * 1024);
+    let copier_on = matches!(sys, Sys::Copier | Sys::CopierBatch);
+    if copier_on {
+        os.install_copier(vec![os.machine.core(2)], Default::default());
+    }
+    let net = NetStack::new(&os);
+    let (a, b) = net.socket_pair();
+    let proc = os.spawn_process();
+    let core = os.machine.core(0);
+    let uring = matches!(sys, Sys::IoUring | Sys::IoUringBatch | Sys::CopierBatch)
+        .then(|| Uring::new(&os, &net, &proc, os.machine.core(1)));
+    if let (Some(u), Sys::CopierBatch) = (&uring, sys) {
+        u.copier_mode.set(true);
+    }
+    let out: Rc<RefCell<(Vec<Nanos>, Vec<Nanos>)>> = Rc::new(RefCell::new((vec![], vec![])));
+    let out2 = Rc::clone(&out);
+    let os2 = Rc::clone(&os);
+    let h2 = h.clone();
+    sim.spawn("echo", async move {
+        let tx = proc.space.mmap(len.max(4096), Prot::RW, true).unwrap();
+        let rx = proc.space.mmap(len.max(4096), Prot::RW, true).unwrap();
+        proc.space.write_bytes(tx, &vec![0x42; len]).unwrap();
+        let (send_mode, recv_mode) = match sys {
+            Sys::Baseline | Sys::IoUring | Sys::IoUringBatch => (IoMode::Sync, IoMode::Sync),
+            Sys::Ub => (IoMode::Ub, IoMode::Ub),
+            Sys::ZeroCopy => (IoMode::ZeroCopy, IoMode::Sync),
+            Sys::Copier | Sys::CopierBatch => (IoMode::Copier, IoMode::Copier),
+        };
+        for _ in 0..ROUNDS {
+            match &uring {
+                Some(u) => {
+                    // Batched: 4 sends per doorbell; singles otherwise.
+                    let batch = if matches!(sys, Sys::IoUringBatch | Sys::CopierBatch) {
+                        4
+                    } else {
+                        1
+                    };
+                    let t0 = h2.now();
+                    let sqes = (0..batch)
+                        .map(|_| Sqe::Send {
+                            sock: Rc::clone(&a),
+                            va: tx,
+                            len,
+                        })
+                        .collect();
+                    u.submit_batch_wait(&core, sqes).await;
+                    out2.borrow_mut()
+                        .0
+                        .push(Nanos((h2.now() - t0).as_nanos() / batch as u64));
+                    for _ in 0..batch {
+                        let t1 = h2.now();
+                        u.submit(
+                            &core,
+                            Sqe::Recv {
+                                sock: Rc::clone(&b),
+                                va: rx,
+                                cap: len,
+                            },
+                        )
+                        .await;
+                        u.wait_cqe(&core).await;
+                        out2.borrow_mut().1.push(h2.now() - t1);
+                    }
+                }
+                None => {
+                    let t0 = h2.now();
+                    let zc = net
+                        .send(&core, &proc, &a, tx, len, send_mode)
+                        .await
+                        .unwrap();
+                    out2.borrow_mut().0.push(h2.now() - t0);
+                    let t1 = h2.now();
+                    let (_, d) = net
+                        .recv(&core, &proc, &b, rx, len, recv_mode)
+                        .await
+                        .unwrap();
+                    out2.borrow_mut().1.push(h2.now() - t1);
+                    // Copier recv's contract: sync before reuse of rx.
+                    if let Some(d) = d {
+                        let lib = proc.lib();
+                        lib._csync(&core, &d, 0, len, proc.space.id(), rx, 0)
+                            .await
+                            .unwrap();
+                    }
+                    // Zero-copy contract: wait for reclaim before reuse.
+                    if let Some(z) = zc {
+                        z.wait().await;
+                    }
+                }
+            }
+        }
+        if let Some(u) = &uring {
+            u.close();
+        }
+        if copier_on {
+            os2.copier().stop();
+        }
+    });
+    sim.run();
+    let mut o = out.borrow_mut();
+    let s = stats(&mut o.0).avg;
+    let r = stats(&mut o.1).avg;
+    (s, r)
+}
+
+fn main() {
+    section("Fig 10: send()/recv() syscall latency (echo load)");
+    for len in [1024, 4096, 16 * 1024, 64 * 1024] {
+        println!("\n  message = {}", kb(len));
+        let (base_s, base_r) = run(Sys::Baseline, len);
+        for sys in [
+            Sys::Baseline,
+            Sys::Ub,
+            Sys::IoUring,
+            Sys::IoUringBatch,
+            Sys::ZeroCopy,
+            Sys::Copier,
+            Sys::CopierBatch,
+        ] {
+            let (s, r) = run(sys, len);
+            row(&[
+                ("sys", format!("{sys:?}")),
+                ("send", format!("{s}")),
+                ("recv", format!("{r}")),
+                ("send-vs-base", copier_bench::delta(base_s, s)),
+                ("recv-vs-base", copier_bench::delta(base_r, r)),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Fig. 12: TinyProxy throughput (a), multi-thread scalability (b), and
+//! the performance breakdown ablation (c).
+//!
+//! Paper shape: (a) Copier +7.2–32.3%, zIO ≤ +11.6% and ≥16 KB only;
+//! (b) near-linear scaling with per-thread queues; (c) async dominates at
+//! 1 KB, hardware + absorption matter at 256 KB.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use copier_apps::proxy::{echo_server, Proxy, ProxyMode};
+use copier_baselines::Zio;
+use copier_bench::{kb, ratio, row, section};
+use copier_core::CopierConfig;
+use copier_mem::Prot;
+use copier_os::{IoMode, NetStack, Os};
+use copier_sim::{Machine, Nanos, Sim};
+
+const MSGS: u64 = 40;
+
+/// Messages/second through `threads` proxy workers with `len`-byte messages.
+fn run(
+    mode: &ProxyMode,
+    with_copier: bool,
+    cfg: Option<CopierConfig>,
+    len: usize,
+    threads: usize,
+) -> f64 {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    // client cores + proxy cores + upstream core + copier core.
+    let machine = Machine::new(&h, threads * 2 + 2);
+    let os = Os::boot(&h, machine, 128 * 1024);
+    if with_copier {
+        os.install_copier(
+            vec![os.machine.core(threads * 2 + 1)],
+            cfg.unwrap_or_default(),
+        );
+    }
+    let net = NetStack::new(&os);
+    let shared_proc = os.spawn_process();
+    let done = Rc::new(Cell::new(0usize));
+    let finish = Rc::new(Cell::new(Nanos::ZERO));
+    let start = Rc::new(Cell::new(Nanos::ZERO));
+    for t in 0..threads {
+        let (ctx, prx) = net.socket_pair();
+        let (ptx, urx) = net.socket_pair();
+        let fd = if t == 0 {
+            0
+        } else {
+            // Per-thread queue sets (§5.1 multi-queue).
+            if with_copier {
+                shared_proc.lib().create_queue(1024)
+            } else {
+                0
+            }
+        };
+        let proxy = Proxy::with_process(
+            &os,
+            &net,
+            mode.clone(),
+            512 * 1024,
+            Rc::clone(&shared_proc),
+            fd,
+        )
+        .unwrap();
+        let pcore = os.machine.core(threads + t);
+        sim.spawn("proxy", async move {
+            proxy.pump(&pcore, prx, ptx, MSGS).await;
+        });
+        // Upstream sink: the last delivery timestamps the run's end.
+        let os2 = Rc::clone(&os);
+        let net2 = Rc::clone(&net);
+        let ucore = os.machine.core(threads * 2);
+        let h3 = h.clone();
+        let done3 = Rc::clone(&done);
+        let finish3 = Rc::clone(&finish);
+        sim.spawn("upstream", async move {
+            echo_server(Rc::clone(&os2), net2, ucore, urx, MSGS, None).await;
+            finish3.set(finish3.get().max(h3.now()));
+            done3.set(done3.get() + 1);
+            if done3.get() == threads {
+                if let Some(svc) = os2.copier.borrow().as_ref() {
+                    svc.stop();
+                }
+            }
+        });
+        // Client pump.
+        let os3 = Rc::clone(&os);
+        let net3 = Rc::clone(&net);
+        let ccore = os.machine.core(t);
+        let start2 = Rc::clone(&start);
+        let h2 = h.clone();
+        sim.spawn("client", async move {
+            let proc = os3.spawn_process();
+            let buf = proc.space.mmap(len.max(4096), Prot::RW, true).unwrap();
+            proc.space.write_bytes(buf, &vec![1u8; len]).unwrap();
+            if start2.get() == Nanos::ZERO {
+                start2.set(h2.now());
+            }
+            for _ in 0..MSGS {
+                net3.send(&ccore, &proc, &ctx, buf, len, IoMode::Sync)
+                    .await
+                    .unwrap();
+            }
+        });
+    }
+    sim.run_until(Nanos::from_secs(5));
+    let total = MSGS as f64 * threads as f64;
+    total / (finish.get() - start.get()).as_secs_f64() / 1000.0 // kmsg/s
+}
+
+fn main() {
+    section("Fig 12-a: TinyProxy forwarding throughput (kmsg/s)");
+    for len in [4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024] {
+        let base = run(&ProxyMode::Baseline, false, None, len, 1);
+        let cop = run(&ProxyMode::Copier, true, None, len, 1);
+        let zio = run(
+            &ProxyMode::Zio(Zio::new(Rc::new(copier_hw::CostModel::default()))),
+            false,
+            None,
+            len,
+            1,
+        );
+        row(&[
+            ("size", kb(len)),
+            ("baseline", format!("{base:.1}")),
+            ("copier", format!("{cop:.1}")),
+            ("zio", format!("{zio:.1}")),
+            ("copier-imp", ratio(cop, base)),
+            ("zio-imp", ratio(zio, base)),
+        ]);
+    }
+
+    section("Fig 12-b: multi-thread scalability (16KB messages)");
+    let one = run(&ProxyMode::Copier, true, None, 16 * 1024, 1);
+    for threads in [1usize, 2, 4, 8] {
+        let t = run(&ProxyMode::Copier, true, None, 16 * 1024, threads);
+        row(&[
+            ("threads", format!("{threads}")),
+            ("kmsg/s", format!("{t:.1}")),
+            ("scaling", ratio(t, one)),
+        ]);
+    }
+
+    section("Fig 12-c: breakdown (async / +hardware / +absorption)");
+    for len in [1024usize, 256 * 1024] {
+        let base = run(&ProxyMode::Baseline, false, None, len, 1);
+        let async_only = run(
+            &ProxyMode::Copier,
+            true,
+            Some(CopierConfig {
+                use_dma: false,
+                absorption: false,
+                ..Default::default()
+            }),
+            len,
+            1,
+        );
+        let plus_hw = run(
+            &ProxyMode::Copier,
+            true,
+            Some(CopierConfig {
+                absorption: false,
+                ..Default::default()
+            }),
+            len,
+            1,
+        );
+        let full = run(&ProxyMode::Copier, true, None, len, 1);
+        row(&[
+            ("size", kb(len)),
+            ("baseline", format!("{base:.1}")),
+            ("async", format!("{async_only:.1}")),
+            ("+hw", format!("{plus_hw:.1}")),
+            ("+absorb", format!("{full:.1}")),
+        ]);
+    }
+}

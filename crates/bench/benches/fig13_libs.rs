@@ -1,0 +1,268 @@
+//! Fig. 13: frameworks and libraries — Protobuf (a), OpenSSL-style TLS
+//! reads (b), and the smartphone avcodec pipeline (c), plus the zlib
+//! deflate case of §6.2.3.
+//!
+//! Paper shape: Protobuf −4–33%; SSL_read −1.4–8.4% flattening at the
+//! 16 KB record cap; avcodec −3–10% latency with ≤0.3% energy and fewer
+//! frame drops; zlib up to −18.8%.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use copier_apps::avcodec::{self, PlaybackReport};
+use copier_apps::proto;
+use copier_apps::tls::{chacha20_xor, TlsSession};
+use copier_apps::zlib;
+use copier_bench::{delta, kb, row, section};
+use copier_core::{CopierConfig, PollMode};
+use copier_mem::Prot;
+use copier_os::{IoMode, NetStack, Os};
+use copier_sim::{Machine, Nanos, PowerModel, Sim, SimRng};
+
+fn proto_run(use_copier: bool, total: usize) -> Nanos {
+    let field = 2048.min(total / 2);
+    let nfields = total / field;
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 3);
+    let os = Os::boot(&h, machine, 65536);
+    if use_copier {
+        os.install_copier(vec![os.machine.core(2)], Default::default());
+    }
+    let net = NetStack::new(&os);
+    let (txs, rxs) = net.socket_pair();
+    let rng = SimRng::new(3);
+    let fields: Vec<(u8, Vec<u8>)> = (0..nfields)
+        .map(|i| {
+            let mut p = vec![0u8; field];
+            rng.fill_bytes(&mut p);
+            (i as u8 + 1, p)
+        })
+        .collect();
+    let sender = os.spawn_process();
+    let cap = total + nfields * 8 + 64;
+    let net2 = Rc::clone(&net);
+    let score = os.machine.core(0);
+    let f2 = fields.clone();
+    sim.spawn("tx", async move {
+        let buf = sender.space.mmap(cap, Prot::RW, true).unwrap();
+        let n = proto::encode(&sender, buf, &f2).unwrap();
+        net2.send(&score, &sender, &txs, buf, n, IoMode::Sync)
+            .await
+            .unwrap();
+    });
+    let receiver = os.spawn_process();
+    let rcore = os.machine.core(1);
+    let os2 = Rc::clone(&os);
+    let out = Rc::new(std::cell::Cell::new(Nanos::ZERO));
+    let out2 = Rc::clone(&out);
+    sim.spawn("rx", async move {
+        let buf = receiver.space.mmap(cap, Prot::RW, true).unwrap();
+        let (msg, lat) =
+            proto::recv_and_decode(&os2, &net, &rcore, &receiver, &rxs, buf, cap, use_copier)
+                .await
+                .unwrap();
+        assert_eq!(msg.fields, fields);
+        out2.set(lat);
+        if let Some(svc) = os2.copier.borrow().as_ref() {
+            svc.stop();
+        }
+    });
+    sim.run();
+    out.get()
+}
+
+fn tls_run(use_copier: bool, total: usize) -> Nanos {
+    // Records cap at 16 KB; larger reads decompose.
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 3);
+    let os = Os::boot(&h, machine, 65536);
+    if use_copier {
+        os.install_copier(vec![os.machine.core(2)], Default::default());
+    }
+    let net = NetStack::new(&os);
+    let (txs, rxs) = net.socket_pair();
+    let session = Rc::new(TlsSession {
+        key: [9; 32],
+        nonce: [1; 12],
+    });
+    let rng = SimRng::new(8);
+    let mut plain = vec![0u8; total];
+    rng.fill_bytes(&mut plain);
+    let records: Vec<Vec<u8>> = plain.chunks(16 * 1024).map(|c| c.to_vec()).collect();
+
+    let sender = os.spawn_process();
+    let score = os.machine.core(0);
+    let net2 = Rc::clone(&net);
+    let s2 = Rc::clone(&session);
+    let recs = records.clone();
+    sim.spawn("tx", async move {
+        let buf = sender.space.mmap(16 * 1024, Prot::RW, true).unwrap();
+        for r in recs {
+            let mut c = r.clone();
+            chacha20_xor(&s2.key, &s2.nonce, 0, &mut c);
+            sender.space.write_bytes(buf, &c).unwrap();
+            net2.send(&score, &sender, &txs, buf, c.len(), IoMode::Sync)
+                .await
+                .unwrap();
+        }
+    });
+    let receiver = os.spawn_process();
+    let rcore = os.machine.core(1);
+    let os2 = Rc::clone(&os);
+    let out = Rc::new(std::cell::Cell::new(Nanos::ZERO));
+    let out2 = Rc::clone(&out);
+    let nrec = records.len();
+    sim.spawn("rx", async move {
+        let buf = receiver.space.mmap(16 * 1024, Prot::RW, true).unwrap();
+        let mut total_lat = Nanos::ZERO;
+        for _ in 0..nrec {
+            let (_, lat) = session
+                .ssl_read(&os2, &net, &rcore, &receiver, &rxs, buf, 16 * 1024, use_copier)
+                .await
+                .unwrap();
+            total_lat += lat;
+        }
+        out2.set(total_lat);
+        if let Some(svc) = os2.copier.borrow().as_ref() {
+            svc.stop();
+        }
+    });
+    sim.run();
+    out.get()
+}
+
+fn zlib_run(use_copier: bool, total: usize) -> Nanos {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 2);
+    let os = Os::boot(&h, machine, 131072);
+    if use_copier {
+        os.install_copier(vec![os.machine.core(1)], Default::default());
+    }
+    let proc = os.spawn_process();
+    let core = os.machine.core(0);
+    let os2 = Rc::clone(&os);
+    let out = Rc::new(std::cell::Cell::new(Nanos::ZERO));
+    let out2 = Rc::clone(&out);
+    sim.spawn("deflate", async move {
+        let input = proc.space.mmap(total, Prot::RW, true).unwrap();
+        let window = proc.space.mmap(2 * zlib::BLOCK, Prot::RW, true).unwrap();
+        let data: Vec<u8> = (0..total).map(|i| ((i / 48) % 230) as u8).collect();
+        proc.space.write_bytes(input, &data).unwrap();
+        let (c, lat) = zlib::deflate(&os2, &core, &proc, input, total, window, use_copier)
+            .await
+            .unwrap();
+        assert_eq!(zlib::lz77_decompress(&c), data);
+        out2.set(lat);
+        if let Some(svc) = os2.copier.borrow().as_ref() {
+            svc.stop();
+        }
+    });
+    sim.run();
+    out.get()
+}
+
+fn avcodec_run(use_copier: bool, frames: u64, jitter: u64) -> (PlaybackReport, f64) {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 2);
+    let os = Os::boot(&h, machine, 65536);
+    if use_copier {
+        os.install_copier(
+            vec![os.machine.core(1)],
+            CopierConfig {
+                polling: PollMode::ScenarioDriven,
+                ..Default::default()
+            },
+        );
+        os.copier().set_scenario_active(false);
+    }
+    let core = os.machine.core(0);
+    let proc = os.spawn_process();
+    let os2 = Rc::clone(&os);
+    let out = Rc::new(RefCell::new(None));
+    let out2 = Rc::clone(&out);
+    sim.spawn("playback", async move {
+        let r = avcodec::play(
+            Rc::clone(&os2),
+            core,
+            proc,
+            1024 * 1024, // 1 MB frames
+            frames,
+            use_copier,
+            jitter,
+        )
+        .await
+        .unwrap();
+        *out2.borrow_mut() = Some(r);
+        if let Some(svc) = os2.copier.borrow().as_ref() {
+            svc.stop();
+        }
+    });
+    let end = sim.run();
+    let e = os.machine.energy_joules(PowerModel::default(), end);
+    let r = out.borrow().unwrap();
+    (r, e)
+}
+
+fn main() {
+    section("Fig 13-a: Protobuf recv+deserialize latency");
+    for total in [4 * 1024, 16 * 1024, 64 * 1024, 128 * 1024] {
+        let b = proto_run(false, total);
+        let c = proto_run(true, total);
+        row(&[
+            ("size", kb(total)),
+            ("baseline", format!("{b}")),
+            ("copier", format!("{c}")),
+            ("change", delta(b, c)),
+        ]);
+    }
+
+    section("Fig 13-b: TLS SSL_read latency (records cap at 16KB)");
+    for total in [4 * 1024, 16 * 1024, 64 * 1024] {
+        let b = tls_run(false, total);
+        let c = tls_run(true, total);
+        row(&[
+            ("size", kb(total)),
+            ("baseline", format!("{b}")),
+            ("copier", format!("{c}")),
+            ("change", delta(b, c)),
+        ]);
+    }
+
+    section("zlib deflate_fast (§6.2.3)");
+    for total in [64 * 1024, 256 * 1024] {
+        let b = zlib_run(false, total);
+        let c = zlib_run(true, total);
+        row(&[
+            ("size", kb(total)),
+            ("baseline", format!("{b}")),
+            ("copier", format!("{c}")),
+            ("change", delta(b, c)),
+        ]);
+    }
+
+    section("Fig 13-c: avcodec playback (1MB frames, 60 frames, jittered decode)");
+    let (b, eb) = avcodec_run(false, 60, 100);
+    let (c, ec) = avcodec_run(true, 60, 100);
+    assert_eq!(b.checksum, c.checksum, "identical pixels");
+    row(&[
+        ("sys", "baseline".into()),
+        ("frame-lat", format!("{}", b.avg_latency)),
+        ("drops", format!("{}", b.dropped)),
+        ("energy(J)", format!("{eb:.3}")),
+    ]);
+    row(&[
+        ("sys", "copier".into()),
+        ("frame-lat", format!("{}", c.avg_latency)),
+        ("drops", format!("{}", c.dropped)),
+        ("energy(J)", format!("{ec:.3}")),
+    ]);
+    println!(
+        "  latency change {}  energy change {:+.2}%",
+        delta(b.avg_latency, c.avg_latency),
+        (ec - eb) / eb * 100.0
+    );
+}

@@ -1,0 +1,89 @@
+//! Ablations beyond the paper's figures (DESIGN.md §9):
+//!
+//! * **segment-size sensitivity** — the descriptor granularity trades
+//!   update overhead against pipeline latency (§4.1);
+//! * **hardware-primitive bound** (§7 discussion) — what a zero-cost
+//!   submission/csync primitive would buy, bounding the polling tax.
+
+use std::rc::Rc;
+
+use copier_bench::{kb, row, section};
+use copier_client::CopierHandle;
+use copier_core::{Copier, CopierConfig};
+use copier_hw::CostModel;
+use copier_mem::{AddressSpace, AllocPolicy, PhysMem, Prot};
+use copier_sim::{Machine, Nanos, Sim};
+
+/// Latency of a 64 KB copy-use pipeline csync'ing every `chunk` bytes,
+/// at descriptor granularity `segment`.
+fn pipeline(segment: usize, chunk: usize, submit_cost: Option<Nanos>) -> Nanos {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 2);
+    let pm = Rc::new(PhysMem::new(4096, AllocPolicy::Scattered));
+    let mut cost = CostModel::default();
+    if let Some(c) = submit_cost {
+        cost.task_submit = c;
+        cost.csync_hit = c;
+    }
+    let svc = Copier::new(
+        &h,
+        Rc::clone(&pm),
+        vec![machine.core(1)],
+        Rc::new(cost),
+        CopierConfig {
+            segment,
+            ..Default::default()
+        },
+    );
+    svc.start();
+    let space = AddressSpace::new(1, Rc::clone(&pm));
+    let lib = CopierHandle::new(&svc, Rc::clone(&space));
+    let core = machine.core(0);
+    let out = Rc::new(std::cell::Cell::new(Nanos::ZERO));
+    let out2 = Rc::clone(&out);
+    let svc2 = Rc::clone(&svc);
+    let h2 = h.clone();
+    sim.spawn("driver", async move {
+        let len = 64 * 1024;
+        let src = space.mmap(len, Prot::RW, true).unwrap();
+        let dst = space.mmap(len, Prot::RW, true).unwrap();
+        // Warm the service.
+        lib.amemcpy(&core, dst, src, len).await;
+        lib.csync(&core, dst, len).await.unwrap();
+        let t0 = h2.now();
+        for _ in 0..8 {
+            lib.amemcpy(&core, dst, src, len).await;
+            let mut off = 0;
+            while off < len {
+                lib.csync(&core, dst.add(off), chunk.min(len - off))
+                    .await
+                    .unwrap();
+                // Per-chunk processing.
+                core.advance(Nanos(chunk as u64 / 12)).await;
+                off += chunk;
+            }
+        }
+        out2.set(Nanos((h2.now() - t0).as_nanos() / 8));
+        svc2.stop();
+    });
+    sim.run();
+    out.get()
+}
+
+fn main() {
+    section("Ablation: descriptor segment size (64KB copy, 2KB-chunk pipeline)");
+    for segment in [256usize, 1024, 4096, 16384, 65536] {
+        let t = pipeline(segment, 2048, None);
+        row(&[("segment", kb(segment)), ("pipeline-latency", format!("{t}"))]);
+    }
+
+    section("Ablation: §7 hardware-primitive bound (submission/csync cost → 5ns)");
+    let sw = pipeline(1024, 2048, None);
+    let hw = pipeline(1024, 2048, Some(Nanos(5)));
+    row(&[
+        ("software", format!("{sw}")),
+        ("hw-primitive", format!("{hw}")),
+        ("bound", copier_bench::delta(sw, hw)),
+    ]);
+}

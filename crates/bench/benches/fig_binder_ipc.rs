@@ -1,0 +1,79 @@
+//! §6.1.2 Binder IPC: end-to-end latency for a client sending n 1 KB
+//! strings, the server reading them one by one via Parcel, n = 10–800.
+//!
+//! Paper shape: Copier −9.6% to −35.5%.
+
+use std::rc::Rc;
+
+use copier_apps as _;
+use copier_bench::{delta, row, section};
+use copier_mem::Prot;
+use copier_os::binder::{write_strings, BinderChannel};
+use copier_os::{IoMode, Os};
+use copier_sim::{Machine, Nanos, Notify, Sim};
+
+fn run(n: usize, use_copier: bool) -> Nanos {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 3);
+    let os = Os::boot(&h, machine, 16 * 1024 + n.div_ceil(2));
+    if use_copier {
+        os.install_copier(vec![os.machine.core(2)], Default::default());
+    }
+    let client = os.spawn_process();
+    let server = os.spawn_process();
+    let chan = BinderChannel::new(&os, &server, (n + 2) * 1100).unwrap();
+    let ccore = os.machine.core(0);
+    let score = os.machine.core(1);
+    let done = Rc::new(Notify::new());
+    let done2 = Rc::clone(&done);
+    let chan2 = Rc::clone(&chan);
+    sim.spawn("server", async move {
+        let msg = chan2.next_message(&score).await;
+        let mut p = chan2.parcel(&msg);
+        let mut count = 0;
+        while p.remaining() > 0 {
+            let s = p.read_string(&score).await;
+            assert_eq!(s.len(), 1024);
+            count += 1;
+        }
+        assert_eq!(count, n);
+        done2.notify_one();
+    });
+    let os2 = Rc::clone(&os);
+    let h2 = h.clone();
+    let out = Rc::new(std::cell::Cell::new(Nanos::ZERO));
+    let out2 = Rc::clone(&out);
+    sim.spawn("client", async move {
+        let buf = client.space.mmap((n + 2) * 1100, Prot::RW, true).unwrap();
+        let len = write_strings(&client, buf, &[0x7e; 1024], n).unwrap();
+        let mode = if use_copier {
+            IoMode::Copier
+        } else {
+            IoMode::Sync
+        };
+        let t0 = h2.now();
+        chan.transact(&ccore, &client, buf, len, mode).await.unwrap();
+        done.notified().await;
+        out2.set(h2.now() - t0);
+        if let Some(svc) = os2.copier.borrow().as_ref() {
+            svc.stop();
+        }
+    });
+    sim.run();
+    out.get()
+}
+
+fn main() {
+    section("Binder IPC end-to-end latency (n strings of 1KB)");
+    for n in [10usize, 50, 100, 200, 400, 800] {
+        let b = run(n, false);
+        let c = run(n, true);
+        row(&[
+            ("n", format!("{n}")),
+            ("baseline", format!("{b}")),
+            ("copier", format!("{c}")),
+            ("change", delta(b, c)),
+        ]);
+    }
+}

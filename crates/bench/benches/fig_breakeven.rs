@@ -1,0 +1,93 @@
+//! §4.6 break-even sizes: at which copy size does Copier beat a sync copy
+//! (a) with a sufficient Copy-Use window, and (b) with no window at all?
+//!
+//! Paper: with windows, kernel copies ≥0.3 KB and user copies ≥0.5 KB
+//! benefit; without windows (pure hardware win), kernel ≥2 KB and user
+//! ≥12 KB.
+
+use std::rc::Rc;
+
+use copier_bench::{delta, kb, row, section};
+use copier_client::{sync_copy, CopierHandle};
+use copier_core::{Copier, CopierConfig};
+use copier_hw::{CostModel, CpuCopyKind};
+use copier_mem::{AddressSpace, AllocPolicy, PhysMem, Prot};
+use copier_sim::{Machine, Nanos, Sim};
+
+const ROUNDS: usize = 40;
+
+/// Per-operation latency of copy-then-use with a `window` of unrelated
+/// compute between copy and use.
+fn run(size: usize, window: Nanos, use_copier: bool, kind: CpuCopyKind) -> Nanos {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 2);
+    let pm = Rc::new(PhysMem::new(8192, AllocPolicy::Scattered));
+    let cost = Rc::new(CostModel::default());
+    let svc = Copier::new(
+        &h,
+        Rc::clone(&pm),
+        vec![machine.core(1)],
+        Rc::clone(&cost),
+        CopierConfig::default(),
+    );
+    svc.start();
+    let space = AddressSpace::new(1, Rc::clone(&pm));
+    let lib = CopierHandle::new(&svc, Rc::clone(&space));
+    let core = machine.core(0);
+    let out = Rc::new(std::cell::Cell::new(Nanos::ZERO));
+    let out2 = Rc::clone(&out);
+    let svc2 = Rc::clone(&svc);
+    let h2 = h.clone();
+    sim.spawn("driver", async move {
+        let src = space.mmap(size, Prot::RW, true).unwrap();
+        let dst = space.mmap(size, Prot::RW, true).unwrap();
+        // Warm the service (it would be spinning under load).
+        lib.amemcpy(&core, dst, src, size).await;
+        lib.csync(&core, dst, size).await.unwrap();
+        let t0 = h2.now();
+        for _ in 0..ROUNDS {
+            if use_copier {
+                lib.amemcpy(&core, dst, src, size).await;
+                core.advance(window).await;
+                lib.csync(&core, dst, size).await.unwrap();
+            } else {
+                sync_copy(&core, &cost, kind, &space, dst, &space, src, size)
+                    .await
+                    .unwrap();
+                core.advance(window).await;
+            }
+        }
+        out2.set(Nanos((h2.now() - t0).as_nanos() / ROUNDS as u64));
+        svc2.stop();
+    });
+    sim.run();
+    out.get()
+}
+
+fn main() {
+    section("Break-even: copy+use latency, generous Copy-Use window (2x copy time)");
+    let cost = CostModel::default();
+    for size in [256usize, 512, 1024, 2048, 4096] {
+        let window = Nanos(cost.cpu_copy(CpuCopyKind::Avx2, size).as_nanos() * 2);
+        let sync = run(size, window, false, CpuCopyKind::Avx2);
+        let cop = run(size, window, true, CpuCopyKind::Avx2);
+        row(&[
+            ("size", kb(size)),
+            ("sync", format!("{sync}")),
+            ("copier", format!("{cop}")),
+            ("change", delta(sync, cop)),
+        ]);
+    }
+    section("Break-even: no Copy-Use window (hardware-only win)");
+    for size in [2048usize, 8 * 1024, 16 * 1024, 64 * 1024, 256 * 1024] {
+        let sync = run(size, Nanos::ZERO, false, CpuCopyKind::Avx2);
+        let cop = run(size, Nanos::ZERO, true, CpuCopyKind::Avx2);
+        row(&[
+            ("size", kb(size)),
+            ("sync", format!("{sync}")),
+            ("copier", format!("{cop}")),
+            ("change", delta(sync, cop)),
+        ]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the real (host-executed) data
+//! structures: the lock-free CSH ring, segment descriptors, interval
+//! sets, and the ChaCha20 / LZ77 codecs. These measure actual wall-clock
+//! cost on the build machine — the only host-time measurements in the
+//! suite (everything else is virtual time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use copier::core::{IntervalSet, Ring, SegDescriptor};
+
+fn ring(c: &mut Criterion) {
+    let r: Ring<u64> = Ring::new(1024);
+    c.bench_function("ring_push_pop", |b| {
+        b.iter(|| {
+            r.push(black_box(42)).unwrap();
+            black_box(r.pop());
+        })
+    });
+}
+
+fn descriptor(c: &mut Criterion) {
+    let d = SegDescriptor::new(256 * 1024, 1024);
+    c.bench_function("descriptor_mark_and_check", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            d.mark(i % 256);
+            black_box(d.range_ready((i % 256) * 1024, 1024));
+            i += 1;
+        })
+    });
+}
+
+fn intervals(c: &mut Criterion) {
+    c.bench_function("interval_insert_covers", |b| {
+        b.iter(|| {
+            let mut s = IntervalSet::new();
+            for i in 0..32 {
+                s.insert(i * 100, i * 100 + 60);
+            }
+            black_box(s.covers(500, 550));
+        })
+    });
+}
+
+fn chacha(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let nonce = [1u8; 12];
+    let mut data = vec![0u8; 4096];
+    c.bench_function("chacha20_4k", |b| {
+        b.iter(|| copier::apps::tls::chacha20_xor(&key, &nonce, 0, black_box(&mut data)))
+    });
+}
+
+fn lz77(c: &mut Criterion) {
+    let data: Vec<u8> = (0..16 * 1024).map(|i| ((i / 48) % 200) as u8).collect();
+    c.bench_function("lz77_compress_16k", |b| {
+        b.iter(|| black_box(copier::apps::zlib::lz77_compress(black_box(&data))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = ring, descriptor, intervals, chacha, lz77
+}
+criterion_main!(benches);

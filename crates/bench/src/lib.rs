@@ -1,0 +1,105 @@
+//! # copier-bench — experiment harness support
+//!
+//! Shared statistics and table printing for the per-figure bench targets
+//! (`benches/fig*.rs`, each with `harness = false`). Every target
+//! regenerates one table or figure of the paper; EXPERIMENTS.md records
+//! paper-vs-measured for each.
+
+use copier_sim::Nanos;
+
+/// Summary statistics over a latency sample set.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub avg: Nanos,
+    /// Median.
+    pub p50: Nanos,
+    /// 99th percentile.
+    pub p99: Nanos,
+    /// Minimum.
+    pub min: Nanos,
+    /// Maximum.
+    pub max: Nanos,
+    /// Sample count.
+    pub n: usize,
+}
+
+/// Computes summary statistics (sorts the input).
+pub fn stats(samples: &mut [Nanos]) -> Stats {
+    assert!(!samples.is_empty());
+    samples.sort();
+    let n = samples.len();
+    let sum: u64 = samples.iter().map(|s| s.as_nanos()).sum();
+    let pct = |p: f64| samples[(((n - 1) as f64) * p).round() as usize];
+    Stats {
+        avg: Nanos(sum / n as u64),
+        p50: pct(0.50),
+        p99: pct(0.99),
+        min: samples[0],
+        max: samples[n - 1],
+        n,
+    }
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints one row of `key = value` pairs, aligned.
+pub fn row(cells: &[(&str, String)]) {
+    let line: Vec<String> = cells
+        .iter()
+        .map(|(k, v)| format!("{k}={v:>10}"))
+        .collect();
+    println!("  {}", line.join("  "));
+}
+
+/// Formats a speedup/change versus a baseline.
+pub fn delta(baseline: Nanos, other: Nanos) -> String {
+    let b = baseline.as_nanos() as f64;
+    let o = other.as_nanos() as f64;
+    format!("{:+.1}%", (o - b) / b * 100.0)
+}
+
+/// Formats a throughput ratio.
+pub fn ratio(new: f64, old: f64) -> String {
+    format!("{:.2}x", new / old)
+}
+
+/// Human-readable byte size.
+pub fn kb(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{}MB", bytes / 1024 / 1024)
+    } else if bytes >= 1024 {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_percentiles() {
+        let mut v: Vec<Nanos> = (1..=100).map(Nanos).collect();
+        let s = stats(&mut v);
+        assert_eq!(s.avg, Nanos(50));
+        assert_eq!(s.p50, Nanos(51)); // index round((n-1)*0.5) = 50 → value 51
+        assert_eq!(s.p99, Nanos(99));
+        assert_eq!(s.min, Nanos(1));
+        assert_eq!(s.max, Nanos(100));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(kb(512), "512B");
+        assert_eq!(kb(16 * 1024), "16KB");
+        assert_eq!(kb(2 * 1024 * 1024), "2MB");
+        assert_eq!(delta(Nanos(100), Nanos(80)), "-20.0%");
+        assert_eq!(ratio(3.0, 2.0), "1.50x");
+    }
+}

@@ -1,0 +1,21 @@
+//! # copier-apps — application workloads from the evaluation
+//!
+//! Faithful miniatures of the paper's benchmark applications (§6): each
+//! keeps the same copy sites and the same compute inside the Copy-Use
+//! window, switchable between the baseline, Copier, and competing systems.
+//!
+//! * [`redis`] — RESP-style KV server with the five optimized copies;
+//! * [`proxy`] — TinyProxy-style forwarder with lazy copy + absorption;
+//! * [`proto`] — length-delimited deserialization (Protobuf stand-in);
+//! * [`tls`] — recv + real-ChaCha20 decrypt (OpenSSL stand-in);
+//! * [`zlib`] — LZ77 `deflate_fast` with a sliding window;
+//! * [`png`] — file read + scanline unfiltering (libpng stand-in);
+//! * [`avcodec`] — video decode pipeline with scenario-driven polling.
+
+pub mod avcodec;
+pub mod png;
+pub mod proto;
+pub mod proxy;
+pub mod redis;
+pub mod tls;
+pub mod zlib;

@@ -1,0 +1,10 @@
+//! # copier-baselines — competing systems from the evaluation
+//!
+//! * [`zio::Zio`] — transparent copy elision by page remapping (OSDI '22);
+//! * zero-copy send and Userspace Bypass live in `copier-os::net` as
+//!   [`copier_os::IoMode`] variants (they are syscall-path behaviors);
+//! * io_uring lives in `copier_os::uring`.
+
+pub mod zio;
+
+pub use zio::{Zio, ZioStats, ZIO_PER_PAGE, ZIO_TRACK};

@@ -1,0 +1,225 @@
+//! zIO (OSDI '22) baseline: transparent copy elision by page remapping.
+//!
+//! zIO interposes on large userspace `memcpy`s: instead of copying, it
+//! remaps the source pages at the destination VA read-only/CoW and lets
+//! later writes fault in private copies on demand. Its documented
+//! limitations, reproduced here (§2.2 of the Copier paper):
+//!
+//! * user-mode only — it cannot elide cross-privilege copies;
+//! * page remapping needs page congruence (same offset within the page)
+//!   and whole pages; ragged heads/tails are copied eagerly;
+//! * remap + TLB-shootdown overheads mean it only pays off above a size
+//!   threshold (the Copier evaluation sets 4 KB; zIO's paper says 16 KB);
+//! * reused destination buffers (Redis's input buffer) take CoW faults on
+//!   the next write, eroding the win.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use copier_client::sync_memcpy;
+use copier_hw::CostModel;
+use copier_mem::{MemError, VirtAddr, PAGE_SIZE};
+use copier_os::Process;
+use copier_sim::{Core, Nanos};
+
+/// Interposition bookkeeping per intercepted copy (zIO's tracking table).
+pub const ZIO_TRACK: Nanos = Nanos(250);
+/// Per-page remap cost (PTE rewrite; the shootdown is charged separately).
+pub const ZIO_PER_PAGE: Nanos = Nanos(120);
+
+/// Counters for the elision behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZioStats {
+    /// Bytes elided by remapping.
+    pub elided: u64,
+    /// Bytes copied eagerly (below threshold, ragged edges, incongruent).
+    pub eager: u64,
+    /// Remap operations performed.
+    pub remaps: u64,
+}
+
+/// The zIO interposition layer for one simulated machine.
+pub struct Zio {
+    cost: Rc<CostModel>,
+    /// Minimum copy size to attempt elision.
+    pub threshold: Cell<usize>,
+    stats: Cell<ZioStats>,
+}
+
+impl Zio {
+    /// Creates the layer with the evaluation's 4 KB threshold.
+    pub fn new(cost: Rc<CostModel>) -> Rc<Self> {
+        Rc::new(Zio {
+            cost,
+            threshold: Cell::new(4096),
+            stats: Cell::new(ZioStats::default()),
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ZioStats {
+        self.stats.get()
+    }
+
+    /// Intercepted `memcpy(dst, src, len)` inside `proc`.
+    ///
+    /// Falls back to a real copy whenever elision cannot apply.
+    pub async fn memcpy(
+        &self,
+        core: &Rc<Core>,
+        proc: &Rc<Process>,
+        dst: VirtAddr,
+        src: VirtAddr,
+        len: usize,
+    ) -> Result<(), MemError> {
+        core.advance(ZIO_TRACK).await;
+        // memcpy's contract forbids overlap; enforce it rather than let the
+        // remap loop corrupt PTE refcounts on a bad interposed call.
+        assert!(
+            dst.0 + len as u64 <= src.0 || src.0 + len as u64 <= dst.0,
+            "zio: overlapping memcpy ranges are undefined"
+        );
+        let mut st = self.stats.get();
+        // Elision requires the threshold and page congruence.
+        if len < self.threshold.get() || src.page_off() != dst.page_off() {
+            st.eager += len as u64;
+            self.stats.set(st);
+            sync_memcpy(core, &self.cost, &proc.space, dst, src, len).await?;
+            return Ok(());
+        }
+        // Ragged head up to the first page boundary.
+        let head = if src.is_page_aligned() {
+            0
+        } else {
+            PAGE_SIZE - src.page_off()
+        };
+        let pages = (len - head) / PAGE_SIZE;
+        let tail = len - head - pages * PAGE_SIZE;
+        if pages == 0 {
+            st.eager += len as u64;
+            self.stats.set(st);
+            sync_memcpy(core, &self.cost, &proc.space, dst, src, len).await?;
+            return Ok(());
+        }
+        if head > 0 {
+            sync_memcpy(core, &self.cost, &proc.space, dst, src, head).await?;
+        }
+        // Source pages must be resolved before their PTEs can be aliased.
+        let mid_src = src.add(head);
+        let mid_dst = dst.add(head);
+        for p in 0..pages {
+            proc.space.resolve(mid_src.add(p * PAGE_SIZE), false)?;
+        }
+        proc.space.alias_at(mid_dst, &proc.space, mid_src, pages)?;
+        core.advance(Nanos(
+            ZIO_PER_PAGE.as_nanos() * pages as u64 + self.cost.tlb_shootdown.as_nanos(),
+        ))
+        .await;
+        if tail > 0 {
+            sync_memcpy(
+                core,
+                &self.cost,
+                &proc.space,
+                dst.add(head + pages * PAGE_SIZE),
+                src.add(head + pages * PAGE_SIZE),
+                tail,
+            )
+            .await?;
+        }
+        st.elided += (pages * PAGE_SIZE) as u64;
+        st.eager += (head + tail) as u64;
+        st.remaps += 1;
+        self.stats.set(st);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copier_mem::Prot;
+    use copier_os::Os;
+    use copier_sim::{Machine, Sim};
+
+    fn world() -> (Sim, Rc<Os>, Rc<Zio>) {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let machine = Machine::new(&h, 1);
+        let os = Os::boot(&h, machine, 2048);
+        let zio = Zio::new(Rc::clone(&os.cost));
+        (sim, os, zio)
+    }
+
+    #[test]
+    fn large_aligned_copy_is_elided_and_correct() {
+        let (mut sim, os, zio) = world();
+        let core = os.machine.core(0);
+        let p = os.spawn_process();
+        let zio2 = Rc::clone(&zio);
+        sim.spawn("t", async move {
+            let len = 32 * 1024;
+            let src = p.space.mmap(len, Prot::RW, true).unwrap();
+            let dst = p.space.mmap(len, Prot::RW, true).unwrap();
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            p.space.write_bytes(src, &data).unwrap();
+            zio2.memcpy(&core, &p, dst, src, len).await.unwrap();
+            assert_eq!(zio2.stats().elided, len as u64);
+            let mut out = vec![0u8; len];
+            p.space.read_bytes(dst, &mut out).unwrap();
+            assert_eq!(out, data);
+            // A destination write breaks CoW without disturbing the source.
+            p.space.write_bytes(dst, b"W").unwrap();
+            p.space.read_bytes(src, &mut out).unwrap();
+            assert_eq!(out, data);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn below_threshold_or_incongruent_copies_eagerly() {
+        let (mut sim, os, zio) = world();
+        let core = os.machine.core(0);
+        let p = os.spawn_process();
+        let zio2 = Rc::clone(&zio);
+        sim.spawn("t", async move {
+            let src = p.space.mmap(64 * 1024, Prot::RW, true).unwrap();
+            let dst = p.space.mmap(64 * 1024, Prot::RW, true).unwrap();
+            p.space.write_bytes(src, &[9u8; 1024]).unwrap();
+            // Small copy.
+            zio2.memcpy(&core, &p, dst, src, 1024).await.unwrap();
+            assert_eq!(zio2.stats().remaps, 0);
+            // Large but incongruent (offsets differ modulo page size).
+            zio2.memcpy(&core, &p, dst.add(100), src.add(200), 32 * 1024)
+                .await
+                .unwrap();
+            assert_eq!(zio2.stats().remaps, 0);
+            assert!(zio2.stats().eager >= 1024 + 32 * 1024);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn ragged_edges_copied_pages_remapped() {
+        let (mut sim, os, zio) = world();
+        let core = os.machine.core(0);
+        let p = os.spawn_process();
+        let zio2 = Rc::clone(&zio);
+        sim.spawn("t", async move {
+            let len = 20 * 1024;
+            let src = p.space.mmap(len + PAGE_SIZE, Prot::RW, true).unwrap();
+            let dst = p.space.mmap(len + PAGE_SIZE, Prot::RW, true).unwrap();
+            let data: Vec<u8> = (0..len).map(|i| (i % 241) as u8).collect();
+            p.space.write_bytes(src.add(100), &data).unwrap();
+            zio2.memcpy(&core, &p, dst.add(100), src.add(100), len)
+                .await
+                .unwrap();
+            let st = zio2.stats();
+            assert_eq!(st.remaps, 1);
+            assert!(st.eager > 0 && st.elided > 0);
+            let mut out = vec![0u8; len];
+            p.space.read_bytes(dst.add(100), &mut out).unwrap();
+            assert_eq!(out, data);
+        });
+        sim.run();
+    }
+}

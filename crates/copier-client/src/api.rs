@@ -1,0 +1,582 @@
+//! libCopier: the high- and low-level client API (Table 2, §5.1).
+//!
+//! `amemcpy`/`csync` keep the familiar memcpy shape: submit asynchronously,
+//! synchronize immediately before use. The handle maintains per-process
+//! default queues, a descriptor pool, and the tracking table that lets
+//! `csync(addr, len)` find the descriptor covering an address.
+//!
+//! Kernel services submit through [`KernelSection`], which plants the
+//! cross-queue barrier tasks of §4.2.1 around each trap.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use copier_core::{
+    Client, Copier, CopyFault, CopyTask, Handler, QueueEntry, SegDescriptor, SyncTask,
+};
+use copier_hw::CostModel;
+use copier_mem::{AddressSpace, VirtAddr};
+use copier_sim::{Core, Nanos};
+
+use crate::pool::DescriptorPool;
+
+/// Result of a csync: `Err` if the copy faulted or was aborted.
+pub type CsyncResult = Result<(), CopyFault>;
+
+struct Tracked {
+    space_id: u32,
+    start: u64,
+    len: usize,
+    descr: Rc<SegDescriptor>,
+}
+
+/// Options for the low-level `_amemcpy` (§5.1, Table 2).
+pub struct AmemcpyOpts {
+    /// Queue-set index (the `fd`); 0 = the per-process default queues.
+    pub fd: usize,
+    /// Post-copy handler.
+    pub func: Option<Handler>,
+    /// Customized descriptor (reuse for recycled I/O buffers); `None`
+    /// draws from the pool.
+    pub descr: Option<Rc<SegDescriptor>>,
+    /// Mark the task lazy (§4.4).
+    pub lazy: bool,
+    /// Segment granularity; 0 = the service default.
+    pub seg: usize,
+    /// Source address space override (`None` = the process space).
+    pub src_space: Option<Rc<AddressSpace>>,
+    /// Destination address space override.
+    pub dst_space: Option<Rc<AddressSpace>>,
+    /// Skip the tracking table (caller keeps the descriptor and uses
+    /// `_csync` with it directly).
+    pub untracked: bool,
+}
+
+impl Default for AmemcpyOpts {
+    fn default() -> Self {
+        AmemcpyOpts {
+            fd: 0,
+            func: None,
+            descr: None,
+            lazy: false,
+            seg: 0,
+            src_space: None,
+            dst_space: None,
+            untracked: false,
+        }
+    }
+}
+
+/// A per-process libCopier instance.
+pub struct CopierHandle {
+    svc: Rc<Copier>,
+    /// The registered client (queues and scheduler state).
+    pub client: Rc<Client>,
+    cost: Rc<CostModel>,
+    /// The process's user address space.
+    pub uspace: Rc<AddressSpace>,
+    pool: DescriptorPool,
+    tracked: RefCell<Vec<Tracked>>,
+    /// Client-side spin step while waiting in csync.
+    pub spin_step: Nanos,
+}
+
+impl CopierHandle {
+    /// Registers a process with the service (`copier_create_mapped_queue`).
+    pub fn new(svc: &Rc<Copier>, uspace: Rc<AddressSpace>) -> Rc<Self> {
+        let client = svc.register_client(Rc::clone(&uspace));
+        Rc::new(CopierHandle {
+            svc: Rc::clone(svc),
+            client,
+            cost: Rc::clone(svc.cost_model()),
+            uspace,
+            pool: DescriptorPool::new(),
+            tracked: RefCell::new(Vec::new()),
+            spin_step: Nanos(200),
+        })
+    }
+
+    /// The service this handle talks to.
+    pub fn service(&self) -> &Rc<Copier> {
+        &self.svc
+    }
+
+    /// Creates an extra per-thread queue set (`copier_create_queue`);
+    /// returns its fd.
+    pub fn create_queue(&self, cap: usize) -> usize {
+        self.client.create_queue_set(cap)
+    }
+
+    /// High-level async memcpy on the default queues (Table 2).
+    pub async fn amemcpy(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        dst: VirtAddr,
+        src: VirtAddr,
+        len: usize,
+    ) -> Rc<SegDescriptor> {
+        self._amemcpy(core, dst, src, len, AmemcpyOpts::default())
+            .await
+    }
+
+    /// Low-level async memcpy with full options (Table 2).
+    pub async fn _amemcpy(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        dst: VirtAddr,
+        src: VirtAddr,
+        len: usize,
+        opts: AmemcpyOpts,
+    ) -> Rc<SegDescriptor> {
+        assert!(len > 0, "amemcpy of zero bytes");
+        let seg = if opts.seg == 0 {
+            self.svc.config().segment
+        } else {
+            opts.seg
+        };
+        let descr = match &opts.descr {
+            Some(d) => {
+                assert!(d.len() == len && d.segment_size() == seg);
+                d.reset();
+                Rc::clone(d)
+            }
+            None => self.pool.take(len, seg),
+        };
+        let dst_space = opts.dst_space.unwrap_or_else(|| Rc::clone(&self.uspace));
+        let src_space = opts.src_space.unwrap_or_else(|| Rc::clone(&self.uspace));
+        let task = CopyTask {
+            dst_space: Rc::clone(&dst_space),
+            dst,
+            src_space,
+            src,
+            len,
+            seg,
+            descr: Rc::clone(&descr),
+            func: opts.func,
+            lazy: opts.lazy,
+        };
+        if !opts.untracked {
+            self.track(dst_space.id(), dst, len, Rc::clone(&descr));
+        }
+        let set = self.client.set(opts.fd);
+        core.advance(self.cost.task_submit).await;
+        let entry = QueueEntry::Copy(task);
+        // Ring full → spin-retry: the client burns its own cycles until the
+        // service drains a slot (the paper's backpressure behavior).
+        while set.uq.copy.push(entry.clone()).is_err() {
+            self.svc.awaken();
+            core.advance(self.spin_step).await;
+        }
+        self.svc.awaken();
+        descr
+    }
+
+    /// Async memmove: overlapping ranges are split so no task's source is
+    /// overwritten before it is read (§4.1 footnote 3).
+    pub async fn amemmove(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        dst: VirtAddr,
+        src: VirtAddr,
+        len: usize,
+    ) -> Vec<Rc<SegDescriptor>> {
+        let (d, s) = (dst.0, src.0);
+        let overlap = d < s + len as u64 && s < d + len as u64 && d != s;
+        if !overlap {
+            return vec![self.amemcpy(core, dst, src, len).await];
+        }
+        let shift = d.abs_diff(s) as usize;
+        // Heavy self-overlap degenerates to many chunks; bounce through a
+        // synchronous copy below 1/16 shift (documented fallback).
+        if shift < len / 16 {
+            crate::syncops::sync_memmove(core, &self.cost, &self.uspace, dst, src, len)
+                .await
+                .expect("sync memmove fallback");
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        if d > s {
+            // Forward overlap: submit tail chunks first.
+            let mut end = len;
+            while end > 0 {
+                let start = end.saturating_sub(shift);
+                out.push(
+                    self.amemcpy(core, dst.add(start), src.add(start), end - start)
+                        .await,
+                );
+                end = start;
+            }
+        } else {
+            let mut start = 0;
+            while start < len {
+                let take = shift.min(len - start);
+                out.push(
+                    self.amemcpy(core, dst.add(start), src.add(start), take)
+                        .await,
+                );
+                start += take;
+            }
+        }
+        out
+    }
+
+    /// Registers an externally created copy (e.g. a kernel `recv()` task)
+    /// so `csync` can find it by destination address.
+    pub fn track(&self, space_id: u32, start: VirtAddr, len: usize, descr: Rc<SegDescriptor>) {
+        let mut t = self.tracked.borrow_mut();
+        if t.len() > 128 {
+            t.retain(|x| !(x.descr.all_ready() || x.descr.fault().is_some()));
+            self.pool.recycle();
+        }
+        t.push(Tracked {
+            space_id,
+            start: start.0,
+            len,
+            descr,
+        });
+    }
+
+    /// High-level csync (Table 2): block until `[addr, addr+len)` of prior
+    /// async copies is ready for use.
+    pub async fn csync(self: &Rc<Self>, core: &Rc<Core>, addr: VirtAddr, len: usize) -> CsyncResult {
+        self.csync_in(core, self.uspace.id(), addr, len, 0).await
+    }
+
+    /// csync against an explicit address space and queue set.
+    pub async fn csync_in(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        space_id: u32,
+        addr: VirtAddr,
+        len: usize,
+        fd: usize,
+    ) -> CsyncResult {
+        core.advance(self.cost.csync_hit).await;
+        let lo = addr.0;
+        let hi = addr.0 + len as u64;
+        // Collect overlapping tracked copies (newest last; all must hold).
+        let waits: Vec<(Rc<SegDescriptor>, usize, usize)> = self
+            .tracked
+            .borrow()
+            .iter()
+            .filter(|t| t.space_id == space_id && t.start < hi && lo < t.start + t.len as u64)
+            .map(|t| {
+                let s = lo.max(t.start) - t.start;
+                let e = hi.min(t.start + t.len as u64) - t.start;
+                (Rc::clone(&t.descr), s as usize, e as usize)
+            })
+            .collect();
+        for (descr, s, e) in waits {
+            match self
+                .wait_descr(core, &descr, s, e - s, space_id, addr, len, fd)
+                .await
+            {
+                // An aborted copy was explicitly discarded by this client
+                // (§4.4); a later csync over the same buffer must not
+                // trip over its tombstone.
+                Err(CopyFault::Aborted) => continue,
+                Err(fault) => {
+                    // A real fault is reported exactly once (errno
+                    // semantics): consume the tombstone so later copies
+                    // into the same buffer aren't shadowed by it.
+                    self.tracked
+                        .borrow_mut()
+                        .retain(|t| !Rc::ptr_eq(&t.descr, &descr));
+                    return Err(fault);
+                }
+                Ok(()) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// `_csync` (Table 2): wait on a caller-managed descriptor directly,
+    /// skipping the tracking-table lookup.
+    #[allow(clippy::too_many_arguments)]
+    pub async fn _csync(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        descr: &Rc<SegDescriptor>,
+        off: usize,
+        len: usize,
+        space_id: u32,
+        addr: VirtAddr,
+        fd: usize,
+    ) -> CsyncResult {
+        core.advance(self.cost.csync_hit).await;
+        self.wait_descr(core, descr, off, len, space_id, addr, len, fd)
+            .await
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    async fn wait_descr(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        descr: &Rc<SegDescriptor>,
+        off: usize,
+        len: usize,
+        space_id: u32,
+        addr: VirtAddr,
+        sync_len: usize,
+        fd: usize,
+    ) -> CsyncResult {
+        if let Some(f) = descr.fault() {
+            return Err(f);
+        }
+        if descr.range_ready(off, len) {
+            return Ok(());
+        }
+        // Submit a Sync Task to promote the segments (§4.1), then poll the
+        // descriptor — the client-side blocking cost is real spin time.
+        core.advance(self.cost.task_submit).await;
+        let set = self.client.set(fd);
+        let _ = set.uq.sync.push(SyncTask {
+            space_id,
+            addr,
+            len: sync_len,
+            abort: false,
+            target: None,
+        });
+        self.svc.awaken();
+        // Spin briefly (the paper's polling wait), then yield the core in
+        // slices — on a saturated machine a blocked csync must not starve
+        // co-scheduled work (sched_yield behavior).
+        let h = self.svc.sim_handle();
+        let spin_deadline = h.now() + Nanos::from_micros(2);
+        loop {
+            if let Some(f) = descr.fault() {
+                return Err(f);
+            }
+            if descr.range_ready(off, len) {
+                return Ok(());
+            }
+            if h.now() < spin_deadline {
+                core.advance(self.spin_step).await;
+            } else {
+                h.sleep(Nanos(500)).await;
+            }
+        }
+    }
+
+    /// `csync_all` (Table 2): waits for every tracked async copy, then
+    /// runs pending user handlers.
+    pub async fn csync_all(self: &Rc<Self>, core: &Rc<Core>) -> CsyncResult {
+        let snapshot: Vec<(u32, u64, usize, Rc<SegDescriptor>)> = self
+            .tracked
+            .borrow()
+            .iter()
+            .map(|t| (t.space_id, t.start, t.len, Rc::clone(&t.descr)))
+            .collect();
+        let mut result = Ok(());
+        for (sp, start, len, d) in snapshot {
+            if let Err(e) = self
+                .wait_descr(core, &d, 0, len, sp, VirtAddr(start), len, 0)
+                .await
+            {
+                // Aborted tasks are an expected way to retire tracked
+                // copies; real faults are surfaced.
+                if e != CopyFault::Aborted {
+                    result = Err(e);
+                }
+            }
+        }
+        self.post_handlers(core).await;
+        self.prune();
+        result
+    }
+
+    /// Submits an `abort` Sync Task (§4.4) discarding a queued copy.
+    pub async fn abort(self: &Rc<Self>, core: &Rc<Core>, addr: VirtAddr, len: usize) {
+        self.abort_in(core, addr, len, 0).await;
+    }
+
+    /// `abort` against an explicit queue set.
+    pub async fn abort_in(self: &Rc<Self>, core: &Rc<Core>, addr: VirtAddr, len: usize, fd: usize) {
+        core.advance(self.cost.task_submit).await;
+        let set = self.client.set(fd);
+        let _ = set.uq.sync.push(SyncTask {
+            space_id: self.uspace.id(),
+            addr,
+            len,
+            abort: true,
+            target: None,
+        });
+        self.svc.awaken();
+    }
+
+    /// `abort` a specific task by its descriptor — immune to buffer reuse
+    /// races (the preferred form for recycled I/O buffers).
+    pub async fn abort_task(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        descr: &Rc<SegDescriptor>,
+        fd: usize,
+    ) {
+        core.advance(self.cost.task_submit).await;
+        let set = self.client.set(fd);
+        let _ = set.uq.sync.push(SyncTask {
+            space_id: 0,
+            addr: VirtAddr(0),
+            len: 0,
+            abort: true,
+            target: Some(Rc::clone(descr)),
+        });
+        self.svc.awaken();
+    }
+
+    /// Runs completed UFUNC handlers (Fig. 4 `post_handlers`).
+    pub async fn post_handlers(self: &Rc<Self>, core: &Rc<Core>) -> usize {
+        let mut n = 0;
+        let sets: Vec<_> = self.client.sets.borrow().iter().cloned().collect();
+        for set in sets {
+            while let Some(h) = set.uq.handler.pop() {
+                if let Handler::UFunc(f) = h {
+                    core.advance(Nanos(60)).await;
+                    f();
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Drops completed entries from the tracking table and recycles their
+    /// descriptors into the pool.
+    pub fn prune(&self) {
+        self.tracked
+            .borrow_mut()
+            .retain(|t| !(t.descr.all_ready() || t.descr.fault().is_some()));
+        self.pool.recycle();
+    }
+
+    /// Opens a kernel submission section for a simulated trap (§4.2.1):
+    /// plants a barrier recording the u-queue position now, and another on
+    /// drop (the return-to-user barrier).
+    pub fn kernel_section(self: &Rc<Self>, fd: usize) -> KernelSection {
+        let set = self.client.set(fd);
+        let _ = set.kq.copy.push(QueueEntry::Barrier {
+            peer_pos: set.uq.copy.pushed(),
+        });
+        KernelSection {
+            lib: Rc::clone(self),
+            fd,
+        }
+    }
+
+    /// Binds a descriptor registry to a shared-memory region (Table 2's
+    /// `shm_descr_bind`). Producers `attach` per-message descriptors;
+    /// consumers `csync_shm` by offset.
+    pub fn shm_descr_bind(&self, base: VirtAddr, len: usize) -> Rc<ShmBinding> {
+        Rc::new(ShmBinding {
+            base,
+            len,
+            descrs: RefCell::new(std::collections::BTreeMap::new()),
+        })
+    }
+
+    /// Descriptor-pool statistics `(allocs, reuses)`.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.stats()
+    }
+}
+
+/// A descriptor binding for a shared-memory region (`shm_descr_bind`,
+/// Table 2): producers attach the descriptor of each message they copy
+/// into the region; consumers `csync` by offset without any table lookup.
+/// Android-Binder-style IPC is the canonical user (§5.1).
+pub struct ShmBinding {
+    base: VirtAddr,
+    len: usize,
+    descrs: RefCell<std::collections::BTreeMap<u64, (usize, Rc<SegDescriptor>)>>,
+}
+
+impl ShmBinding {
+    /// Registers the descriptor covering `[off, off+len)` of the region.
+    pub fn attach(&self, off: usize, len: usize, descr: Rc<SegDescriptor>) {
+        assert!(off + len <= self.len, "binding outside the region");
+        self.descrs.borrow_mut().insert(off as u64, (len, descr));
+    }
+
+    /// The region's base address.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Waits until `[off, off+len)` of the shared region is ready.
+    pub async fn csync_shm(
+        &self,
+        lib: &Rc<CopierHandle>,
+        core: &Rc<Core>,
+        off: usize,
+        len: usize,
+    ) -> CsyncResult {
+        let targets: Vec<(Rc<SegDescriptor>, usize, usize)> = self
+            .descrs
+            .borrow()
+            .iter()
+            .filter(|(&s, (l, _))| (s as usize) < off + len && off < s as usize + l)
+            .map(|(&s, (l, d))| {
+                let lo = off.max(s as usize) - s as usize;
+                let hi = (off + len).min(s as usize + l) - s as usize;
+                (Rc::clone(d), lo, hi)
+            })
+            .collect();
+        for (d, lo, hi) in targets {
+            lib._csync(core, &d, lo, hi - lo, 0, self.base.add(off), 0)
+                .await?;
+        }
+        Ok(())
+    }
+}
+
+/// An open kernel-mode submission window (between trap and return).
+pub struct KernelSection {
+    lib: Rc<CopierHandle>,
+    fd: usize,
+}
+
+impl KernelSection {
+    /// Submits a k-mode Copy Task. The descriptor is drawn from the
+    /// client's pool and tracked so user-side `csync` finds it.
+    pub async fn submit(
+        &self,
+        core: &Rc<Core>,
+        dst_space: &Rc<AddressSpace>,
+        dst: VirtAddr,
+        src_space: &Rc<AddressSpace>,
+        src: VirtAddr,
+        len: usize,
+        func: Option<Handler>,
+        lazy: bool,
+    ) -> Rc<SegDescriptor> {
+        let seg = self.lib.svc.config().segment;
+        let descr = self.lib.pool.take(len, seg);
+        let task = CopyTask {
+            dst_space: Rc::clone(dst_space),
+            dst,
+            src_space: Rc::clone(src_space),
+            src,
+            len,
+            seg,
+            descr: Rc::clone(&descr),
+            func,
+            lazy,
+        };
+        self.lib
+            .track(dst_space.id(), dst, len, Rc::clone(&descr));
+        core.advance(self.lib.cost.task_submit).await;
+        let set = self.lib.client.set(self.fd);
+        let _ = set.kq.copy.push(QueueEntry::Copy(task));
+        self.lib.svc.awaken();
+        descr
+    }
+}
+
+impl Drop for KernelSection {
+    fn drop(&mut self) {
+        let set = self.lib.client.set(self.fd);
+        let _ = set.kq.copy.push(QueueEntry::Barrier {
+            peer_pos: set.uq.copy.pushed(),
+        });
+    }
+}

@@ -1,0 +1,331 @@
+//! Client registration state and the service-side in-flight window.
+//!
+//! Each client (a user process, or an OS service with a standalone context)
+//! owns one *default* [`QueueSet`] — a paired u-mode and k-mode set of CSH
+//! queues (§4.2.1) — and may create extra per-thread sets (§5.1 multi-queue
+//! support; dependencies are only tracked within a set).
+//!
+//! The service drains queue entries into the set's *pending window*, a list
+//! of [`PendEntry`] ordered by the merged cross-privilege key computed from
+//! barrier tasks.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use copier_mem::{AddressSpace, FrameId};
+use copier_sim::Nanos;
+
+use crate::descriptor::CopyFault;
+use crate::interval::IntervalSet;
+use crate::ring::Ring;
+use crate::task::{CopyTask, Handler, Privilege, QueueEntry, SyncTask, TaskId};
+
+/// Client identifier.
+pub type ClientId = u32;
+
+/// Default capacity (slots) of each CSH queue.
+pub const DEFAULT_QUEUE_CAP: usize = 1024;
+
+/// One privilege level's CSH queues.
+pub struct QueuePair {
+    /// Copy Queue — `QueueEntry::Copy` and `QueueEntry::Barrier`.
+    pub copy: Ring<QueueEntry>,
+    /// Sync Queue — promotion and abort requests.
+    pub sync: Ring<SyncTask>,
+    /// Handler Queue — completed UFUNCs for `post_handlers()` (u-mode only;
+    /// unused on the k-mode pair).
+    pub handler: Ring<Handler>,
+}
+
+impl QueuePair {
+    /// Creates a queue pair with `cap` slots per ring.
+    pub fn new(cap: usize) -> Rc<Self> {
+        Rc::new(QueuePair {
+            copy: Ring::new(cap),
+            sync: Ring::new(cap),
+            handler: Ring::new(cap),
+        })
+    }
+}
+
+/// Merge key: `(barrier_key, privilege, drain_seq)`; see §4.2.1.
+pub type OrderKey = (u64, u8, u64);
+
+/// A task in the service's in-flight window.
+pub struct PendEntry {
+    /// Service-wide id.
+    pub tid: TaskId,
+    /// Merged execution-order key.
+    pub key: OrderKey,
+    /// The request itself.
+    pub task: CopyTask,
+    /// Byte ranges physically copied so far.
+    pub copied: RefCell<IntervalSet>,
+    /// Byte ranges currently handed to the dispatcher (in flight).
+    pub inflight: RefCell<IntervalSet>,
+    /// Byte ranges deferred by copy absorption (§4.4) — still owed, but
+    /// intentionally off the fast path.
+    pub deferred: RefCell<IntervalSet>,
+    /// Don't execute deferred/lazy bytes before this virtual instant.
+    pub defer_until: Cell<Nanos>,
+    /// Raised by a Sync Task; promoted tasks run ahead of the FIFO.
+    pub promoted: Cell<bool>,
+    /// Abort requested (§4.4): discard the remaining work.
+    pub aborted: Cell<bool>,
+    /// Planning failed (fault); the descriptor has been poisoned.
+    pub failed: Cell<Option<CopyFault>>,
+    /// When the task entered the window (drives lazy expiry).
+    pub submitted_at: Nanos,
+    /// Pinned frames to release at completion: `(space, frames)`.
+    pub pins: RefCell<Vec<(Rc<AddressSpace>, Vec<FrameId>)>>,
+    /// Set by the first finalizer — makes completion idempotent even if
+    /// two service threads transiently share a client during auto-scale
+    /// rebalancing.
+    pub finalized: Cell<bool>,
+}
+
+impl PendEntry {
+    /// Bytes not yet copied, aborted, or in flight.
+    pub fn remaining(&self) -> usize {
+        let done = self.copied.borrow().total() + self.inflight.borrow().total();
+        self.task.len.saturating_sub(done)
+    }
+
+    /// Whether every byte has landed (or the task was cancelled).
+    pub fn finished(&self) -> bool {
+        self.aborted.get()
+            || self.failed.get().is_some()
+            || self.copied.borrow().covers(0, self.task.len)
+    }
+
+    /// The gaps still to copy, excluding deferred ranges unless `force`.
+    pub fn executable_gaps(&self, force: bool) -> Vec<(usize, usize)> {
+        let copied = self.copied.borrow();
+        let inflight = self.inflight.borrow();
+        let deferred = self.deferred.borrow();
+        let mut out = Vec::new();
+        for (s, e) in copied.gaps(0, self.task.len) {
+            // Subtract in-flight pieces.
+            for (s2, e2) in inflight.gaps(s, e) {
+                if force {
+                    out.push((s2, e2));
+                } else {
+                    for g in deferred.gaps(s2, e2) {
+                        out.push(g);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A paired u-mode/k-mode queue set with its merge and window state.
+pub struct QueueSet {
+    /// u-mode queues (mapped into the client).
+    pub uq: Rc<QueuePair>,
+    /// k-mode queues (used by kernel services in this process context).
+    pub kq: Rc<QueuePair>,
+    /// Current k-mode barrier key (peer u-queue position at last barrier).
+    pub cur_k_key: Cell<u64>,
+    /// Count of u-mode copy tasks drained so far (the u key).
+    pub u_index: Cell<u64>,
+    /// Monotone drain sequence for stable ties.
+    pub seq: Cell<u64>,
+    /// The in-flight window, sorted by `key`.
+    pub pending: RefCell<VecDeque<Rc<PendEntry>>>,
+}
+
+impl QueueSet {
+    /// Creates an empty set with the given per-ring capacity.
+    pub fn new(cap: usize) -> Rc<Self> {
+        Rc::new(QueueSet {
+            uq: QueuePair::new(cap),
+            kq: QueuePair::new(cap),
+            cur_k_key: Cell::new(0),
+            u_index: Cell::new(0),
+            seq: Cell::new(0),
+            pending: RefCell::new(VecDeque::new()),
+        })
+    }
+
+    /// The queue pair for a privilege level.
+    pub fn pair(&self, p: Privilege) -> &Rc<QueuePair> {
+        match p {
+            Privilege::K => &self.kq,
+            Privilege::U => &self.uq,
+        }
+    }
+
+    /// Total bytes waiting in the window.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.borrow().iter().map(|p| p.remaining()).sum()
+    }
+}
+
+/// A registered client.
+pub struct Client {
+    /// Identifier (also used to match Sync Tasks to spaces).
+    pub id: ClientId,
+    /// The client's user address space.
+    pub uspace: Rc<AddressSpace>,
+    /// Queue sets; index 0 is the default per-process set.
+    pub sets: RefCell<Vec<Rc<QueueSet>>>,
+    /// Scheduler state: total copied length (the CFS vruntime analogue).
+    pub copied_total: Cell<u64>,
+    /// The cgroup this client is charged to.
+    pub cgroup: Cell<usize>,
+    /// Signals delivered on unrecoverable faults (simulated SIGSEGV).
+    pub signals: RefCell<Vec<CopyFault>>,
+}
+
+impl Client {
+    /// Creates a client with one default queue set.
+    pub fn new(id: ClientId, uspace: Rc<AddressSpace>, cap: usize) -> Rc<Self> {
+        Rc::new(Client {
+            id,
+            uspace,
+            sets: RefCell::new(vec![QueueSet::new(cap)]),
+            copied_total: Cell::new(0),
+            cgroup: Cell::new(0),
+            signals: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// The default queue set.
+    pub fn default_set(&self) -> Rc<QueueSet> {
+        Rc::clone(&self.sets.borrow()[0])
+    }
+
+    /// Creates an additional per-thread queue set, returning its index
+    /// (the `fd` of `copier_create_queue`).
+    pub fn create_queue_set(&self, cap: usize) -> usize {
+        let mut sets = self.sets.borrow_mut();
+        sets.push(QueueSet::new(cap));
+        sets.len() - 1
+    }
+
+    /// Queue set by index.
+    pub fn set(&self, idx: usize) -> Rc<QueueSet> {
+        Rc::clone(&self.sets.borrow()[idx])
+    }
+
+    /// Whether any set has queued or windowed work runnable at `now`
+    /// (mirrors the service's batch-selection rules).
+    pub fn has_work(&self, now: Nanos, lazy_period: Nanos) -> bool {
+        self.sets.borrow().iter().any(|s| {
+            !s.uq.copy.is_empty()
+                || !s.kq.copy.is_empty()
+                || !s.uq.sync.is_empty()
+                || !s.kq.sync.is_empty()
+                || s.pending.borrow().iter().any(|p| {
+                    if p.finished() {
+                        return false;
+                    }
+                    if p.promoted.get() {
+                        return true;
+                    }
+                    if p.task.lazy && now < p.submitted_at + lazy_period {
+                        return false;
+                    }
+                    if !p.executable_gaps(false).is_empty() {
+                        return true;
+                    }
+                    // Deferred obligations become runnable at expiry.
+                    p.defer_until.get() <= now && !p.executable_gaps(true).is_empty()
+                })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::SegDescriptor;
+    use copier_mem::{AllocPolicy, PhysMem, VirtAddr};
+
+    fn dummy_task(len: usize) -> CopyTask {
+        let pm = Rc::new(PhysMem::new(4, AllocPolicy::Sequential));
+        let space = AddressSpace::new(1, pm);
+        CopyTask {
+            dst_space: Rc::clone(&space),
+            dst: VirtAddr(0x1000),
+            src_space: space,
+            src: VirtAddr(0x9000),
+            len,
+            seg: 1024,
+            descr: Rc::new(SegDescriptor::new(len, 1024)),
+            func: None,
+            lazy: false,
+        }
+    }
+
+    fn entry(len: usize) -> PendEntry {
+        PendEntry {
+            tid: 1,
+            key: (0, 1, 0),
+            task: dummy_task(len),
+            copied: RefCell::new(IntervalSet::new()),
+            inflight: RefCell::new(IntervalSet::new()),
+            deferred: RefCell::new(IntervalSet::new()),
+            defer_until: Cell::new(Nanos::ZERO),
+            promoted: Cell::new(false),
+            aborted: Cell::new(false),
+            failed: Cell::new(None),
+            submitted_at: Nanos::ZERO,
+            pins: RefCell::new(Vec::new()),
+            finalized: Cell::new(false),
+        }
+    }
+
+    #[test]
+    fn executable_gaps_subtract_copied_inflight_deferred() {
+        let e = entry(4096);
+        e.copied.borrow_mut().insert(0, 1024);
+        e.inflight.borrow_mut().insert(1024, 2048);
+        e.deferred.borrow_mut().insert(3000, 4096);
+        assert_eq!(e.executable_gaps(false), vec![(2048, 3000)]);
+        assert_eq!(e.executable_gaps(true), vec![(2048, 4096)]);
+        assert_eq!(e.remaining(), 4096 - 2048);
+        assert!(!e.finished());
+    }
+
+    #[test]
+    fn finished_via_copied_or_abort() {
+        let e = entry(100);
+        assert!(!e.finished());
+        e.copied.borrow_mut().insert(0, 100);
+        assert!(e.finished());
+        let e2 = entry(100);
+        e2.aborted.set(true);
+        assert!(e2.finished());
+    }
+
+    #[test]
+    fn client_work_detection() {
+        let pm = Rc::new(PhysMem::new(4, AllocPolicy::Sequential));
+        let space = AddressSpace::new(7, pm);
+        let c = Client::new(7, space, 16);
+        assert!(!c.has_work(Nanos::ZERO, Nanos::ZERO));
+        let set = c.default_set();
+        set.uq
+            .copy
+            .push(QueueEntry::Copy(dummy_task(64)))
+            .unwrap();
+        assert!(c.has_work(Nanos::ZERO, Nanos::ZERO));
+    }
+
+    #[test]
+    fn extra_queue_sets_are_independent() {
+        let pm = Rc::new(PhysMem::new(4, AllocPolicy::Sequential));
+        let space = AddressSpace::new(7, pm);
+        let c = Client::new(7, space, 16);
+        let fd = c.create_queue_set(16);
+        assert_eq!(fd, 1);
+        let s1 = c.set(1);
+        s1.uq.copy.push(QueueEntry::Copy(dummy_task(64))).unwrap();
+        assert!(c.set(0).uq.copy.is_empty());
+        assert!(!c.set(1).uq.copy.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Service configuration.
+
+use copier_sim::Nanos;
+
+use crate::descriptor::DEFAULT_SEGMENT;
+use crate::sched::DEFAULT_COPY_SLICE;
+
+/// How the Copier threads poll client queues (§4.5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollMode {
+    /// NAPI-like adaptive polling: spin for a budget of idle sweeps, then
+    /// park until awakened or the timeout elapses.
+    Napi {
+        /// Consecutive idle sweeps before parking.
+        spin_rounds: u32,
+        /// Maximum park duration before a defensive re-poll.
+        park_timeout: Nanos,
+    },
+    /// Scenario-driven (the smartphone mode, §5.3): threads run only while
+    /// a target scenario is active and sleep otherwise.
+    ScenarioDriven,
+}
+
+/// Tunables of a [`crate::service::Copier`] instance.
+#[derive(Debug, Clone)]
+pub struct CopierConfig {
+    /// Slots per CSH ring.
+    pub queue_cap: usize,
+    /// Default segment granularity for descriptors.
+    pub segment: usize,
+    /// How long lazy/deferred obligations may linger before execution.
+    pub lazy_period: Nanos,
+    /// Enable copy absorption (§4.4).
+    pub absorption: bool,
+    /// Attach the DMA engine (§4.3).
+    pub use_dma: bool,
+    /// ATCache entries (0 disables the cache).
+    pub atcache_capacity: usize,
+    /// Polling behavior.
+    pub polling: PollMode,
+    /// Maximum bytes served per scheduling decision.
+    pub copy_slice: usize,
+    /// Enable thread auto-scaling between 1 and the provided core count.
+    pub auto_scale: bool,
+    /// Pending-byte load below which a thread is put to sleep.
+    pub low_load: usize,
+    /// Pending-byte load above which another thread is woken.
+    pub high_load: usize,
+    /// Copier-core time charged per drained queue entry.
+    pub drain_cost: Nanos,
+    /// Scheduler latency to wake a parked Copier thread (kthread wakeup).
+    pub wake_latency: Nanos,
+    /// Settle window after draining new tasks before scheduling: lets a
+    /// burst of submissions land in the same window, enabling e-piggyback
+    /// fusing and copy absorption across adjacent tasks (§4.3, §4.4).
+    pub aggregation_delay: Nanos,
+}
+
+impl Default for CopierConfig {
+    fn default() -> Self {
+        CopierConfig {
+            queue_cap: 1024,
+            segment: DEFAULT_SEGMENT,
+            lazy_period: Nanos::from_micros(50),
+            absorption: true,
+            use_dma: true,
+            atcache_capacity: 256,
+            polling: PollMode::Napi {
+                // SQPOLL-style idle budget (~160 µs of spinning) before
+                // parking; keeps the service hot across request gaps.
+                spin_rounds: 2048,
+                park_timeout: Nanos::from_micros(100),
+            },
+            copy_slice: DEFAULT_COPY_SLICE,
+            auto_scale: false,
+            low_load: 16 * 1024,
+            high_load: 1024 * 1024,
+            drain_cost: Nanos(25),
+            wake_latency: Nanos(700),
+            aggregation_delay: Nanos(150),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Segment descriptors: the shared bitmap clients poll in `csync` (§4.1).
+//!
+//! A descriptor divides a copy of `len` bytes into fixed-size segments and
+//! exposes one atomic bit per segment. Copier sets a bit only after the
+//! segment's bytes have physically landed; a client that observes the bit
+//! may use those bytes immediately — the fine-grained copy-use pipeline.
+//!
+//! Atomics are used (rather than `Cell`s) because the descriptor is the
+//! contract shared across the client/service boundary; the identical type
+//! is exercised from real OS threads in the ring stress tests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Why a copy failed; surfaced to `csync` as an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyFault {
+    /// The source or destination range was not legally addressable —
+    /// the simulated process receives SIGSEGV.
+    Segv,
+    /// Physical memory was exhausted while resolving pages.
+    OutOfMemory,
+    /// The task was explicitly aborted (§4.4 `abort` sync task).
+    Aborted,
+}
+
+/// Default segment granularity (bytes).
+pub const DEFAULT_SEGMENT: usize = 1024;
+
+/// A segment-progress descriptor.
+pub struct SegDescriptor {
+    len: usize,
+    seg: usize,
+    bits: Vec<AtomicU64>,
+    poisoned: AtomicBool,
+    fault: std::cell::Cell<Option<CopyFault>>,
+}
+
+// SAFETY: `fault` is only written by the (single-threaded) service before
+// `poisoned` is set with release ordering and read after an acquire load;
+// in the deterministic simulator there is exactly one host thread anyway.
+unsafe impl Sync for SegDescriptor {}
+
+impl SegDescriptor {
+    /// Creates a descriptor for a copy of `len` bytes at `seg` granularity.
+    pub fn new(len: usize, seg: usize) -> Self {
+        assert!(len > 0, "descriptor for empty copy");
+        let seg = seg.max(1);
+        let nsegs = len.div_ceil(seg);
+        let words = nsegs.div_ceil(64);
+        SegDescriptor {
+            len,
+            seg,
+            bits: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            poisoned: AtomicBool::new(false),
+            fault: std::cell::Cell::new(None),
+        }
+    }
+
+    /// The copy length this descriptor tracks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Never true — descriptors always track a non-empty copy.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Segment granularity in bytes.
+    pub fn segment_size(&self) -> usize {
+        self.seg
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.len.div_ceil(self.seg)
+    }
+
+    /// Marks segment `idx` complete.
+    pub fn mark(&self, idx: usize) {
+        assert!(idx < self.num_segments());
+        self.bits[idx / 64].fetch_or(1 << (idx % 64), Ordering::Release);
+    }
+
+    /// Whether segment `idx` is complete.
+    pub fn is_marked(&self, idx: usize) -> bool {
+        assert!(idx < self.num_segments());
+        self.bits[idx / 64].load(Ordering::Acquire) & (1 << (idx % 64)) != 0
+    }
+
+    /// Whether every segment overlapping `[off, off+len)` is complete.
+    pub fn range_ready(&self, off: usize, len: usize) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let end = (off + len).min(self.len);
+        let first = off / self.seg;
+        let last = (end - 1) / self.seg;
+        (first..=last).all(|i| self.is_marked(i))
+    }
+
+    /// Whether the whole copy is complete.
+    pub fn all_ready(&self) -> bool {
+        self.range_ready(0, self.len)
+    }
+
+    /// Count of completed segments.
+    pub fn ready_segments(&self) -> usize {
+        (0..self.num_segments()).filter(|&i| self.is_marked(i)).count()
+    }
+
+    /// The byte range covered by segment `idx` (tail segment may be short).
+    pub fn segment_range(&self, idx: usize) -> (usize, usize) {
+        let start = idx * self.seg;
+        (start, ((idx + 1) * self.seg).min(self.len))
+    }
+
+    /// Clears all progress and fault state for reuse from a descriptor
+    /// pool (§5.1 "descriptor pool").
+    ///
+    /// Only safe once no in-flight copy references the descriptor.
+    pub fn reset(&self) {
+        for w in &self.bits {
+            w.store(0, Ordering::Release);
+        }
+        self.fault.set(None);
+        self.poisoned.store(false, Ordering::Release);
+    }
+
+    /// Poisons the descriptor with a fault; `csync` will surface it.
+    pub fn poison(&self, fault: CopyFault) {
+        self.fault.set(Some(fault));
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Returns the recorded fault, if any.
+    pub fn fault(&self) -> Option<CopyFault> {
+        if self.poisoned.load(Ordering::Acquire) {
+            self.fault.get()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_math_with_short_tail() {
+        let d = SegDescriptor::new(2500, 1024);
+        assert_eq!(d.num_segments(), 3);
+        assert_eq!(d.segment_range(0), (0, 1024));
+        assert_eq!(d.segment_range(2), (2048, 2500));
+    }
+
+    #[test]
+    fn range_ready_requires_all_touched_segments() {
+        let d = SegDescriptor::new(4096, 1024);
+        d.mark(0);
+        d.mark(1);
+        assert!(d.range_ready(0, 2048));
+        assert!(d.range_ready(100, 1000));
+        assert!(!d.range_ready(2000, 100)); // crosses into segment 1..2? 2000+100 ends 2100 → segment 2
+        assert!(!d.range_ready(0, 4096));
+        d.mark(2);
+        d.mark(3);
+        assert!(d.all_ready());
+        assert_eq!(d.ready_segments(), 4);
+    }
+
+    #[test]
+    fn zero_len_query_is_trivially_ready() {
+        let d = SegDescriptor::new(128, 64);
+        assert!(d.range_ready(100, 0));
+    }
+
+    #[test]
+    fn wide_descriptors_use_multiple_words() {
+        let d = SegDescriptor::new(100 * 1024, 1024); // 100 segments
+        for i in 0..100 {
+            assert!(!d.is_marked(i));
+            d.mark(i);
+            assert!(d.is_marked(i));
+        }
+        assert!(d.all_ready());
+    }
+
+    #[test]
+    fn poison_is_observable() {
+        let d = SegDescriptor::new(64, 64);
+        assert_eq!(d.fault(), None);
+        d.poison(CopyFault::Segv);
+        assert_eq!(d.fault(), Some(CopyFault::Segv));
+    }
+}

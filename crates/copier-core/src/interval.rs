@@ -1,0 +1,263 @@
+//! Byte-interval bookkeeping for partially completed copies.
+//!
+//! Copy progress arrives out of order (DMA tails can land before AVX
+//! middles), so each in-flight task tracks the set of copied byte ranges
+//! and derives which fixed-size *segments* are fully covered — those are
+//! the bits set in the task's descriptor (§4.1).
+
+/// A set of disjoint half-open byte intervals, kept sorted and merged.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// Disjoint, sorted, non-adjacent `(start, end)` pairs.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl IntervalSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        IntervalSet { ranges: Vec::new() }
+    }
+
+    /// A set containing one interval.
+    pub fn from_range(start: usize, end: usize) -> Self {
+        let mut s = Self::new();
+        s.insert(start, end);
+        s
+    }
+
+    /// Inserts `[start, end)`, merging neighbours.
+    pub fn insert(&mut self, start: usize, end: usize) {
+        if start >= end {
+            return;
+        }
+        // Find insertion window: all ranges overlapping or adjacent.
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut i = 0;
+        let mut remove_from = None;
+        let mut remove_to = 0;
+        while i < self.ranges.len() {
+            let (s, e) = self.ranges[i];
+            if e < start {
+                i += 1;
+                continue;
+            }
+            if s > end {
+                break;
+            }
+            // Overlapping or touching.
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+            if remove_from.is_none() {
+                remove_from = Some(i);
+            }
+            remove_to = i + 1;
+            i += 1;
+        }
+        match remove_from {
+            Some(from) => {
+                self.ranges.drain(from..remove_to);
+                self.ranges.insert(from, (new_start, new_end));
+            }
+            None => {
+                let pos = self
+                    .ranges
+                    .iter()
+                    .position(|&(s, _)| s > start)
+                    .unwrap_or(self.ranges.len());
+                self.ranges.insert(pos, (new_start, new_end));
+            }
+        }
+    }
+
+    /// Removes `[start, end)` from the set.
+    pub fn remove(&mut self, start: usize, end: usize) {
+        if start >= end {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.ranges.len() + 1);
+        for &(s, e) in &self.ranges {
+            if e <= start || s >= end {
+                out.push((s, e));
+                continue;
+            }
+            if s < start {
+                out.push((s, start));
+            }
+            if e > end {
+                out.push((end, e));
+            }
+        }
+        self.ranges = out;
+    }
+
+    /// Whether `[start, end)` is fully contained.
+    pub fn covers(&self, start: usize, end: usize) -> bool {
+        if start >= end {
+            return true;
+        }
+        self.ranges
+            .iter()
+            .any(|&(s, e)| s <= start && end <= e)
+    }
+
+    /// Whether `[start, end)` intersects the set at all.
+    pub fn intersects(&self, start: usize, end: usize) -> bool {
+        if start >= end {
+            return false;
+        }
+        self.ranges.iter().any(|&(s, e)| s < end && e > start)
+    }
+
+    /// Total bytes covered.
+    pub fn total(&self) -> usize {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The parts of `[start, end)` *not* covered by the set, in order.
+    pub fn gaps(&self, start: usize, end: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut cur = start;
+        for &(s, e) in &self.ranges {
+            if e <= cur {
+                continue;
+            }
+            if s >= end {
+                break;
+            }
+            if s > cur {
+                out.push((cur, s.min(end)));
+            }
+            cur = cur.max(e);
+            if cur >= end {
+                break;
+            }
+        }
+        if cur < end {
+            out.push((cur, end));
+        }
+        out
+    }
+
+    /// The parts of `[start, end)` covered by the set, in order.
+    pub fn overlaps(&self, start: usize, end: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for &(s, e) in &self.ranges {
+            let lo = s.max(start);
+            let hi = e.min(end);
+            if lo < hi {
+                out.push((lo, hi));
+            }
+        }
+        out
+    }
+
+    /// Iterates the stored ranges.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.ranges.iter().copied()
+    }
+}
+
+/// Do two half-open ranges overlap?
+pub fn ranges_overlap(a: (usize, usize), b: (usize, usize)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_merges_overlapping_and_adjacent() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        s.insert(20, 30); // bridges the two
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(10, 40)]);
+        s.insert(5, 12);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(5, 40)]);
+        assert_eq!(s.total(), 35);
+    }
+
+    #[test]
+    fn covers_and_intersects() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 100);
+        s.insert(200, 300);
+        assert!(s.covers(0, 100));
+        assert!(s.covers(10, 90));
+        assert!(!s.covers(50, 150));
+        assert!(!s.covers(100, 200));
+        assert!(s.intersects(90, 110));
+        assert!(!s.intersects(100, 200));
+        assert!(s.covers(5, 5), "empty range always covered");
+    }
+
+    #[test]
+    fn gaps_enumerates_missing_parts() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert_eq!(s.gaps(0, 50), vec![(0, 10), (20, 30), (40, 50)]);
+        assert_eq!(s.gaps(12, 18), vec![]);
+        assert_eq!(s.gaps(15, 35), vec![(20, 30)]);
+        assert_eq!(IntervalSet::new().gaps(3, 7), vec![(3, 7)]);
+    }
+
+    #[test]
+    fn overlaps_enumerates_present_parts() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert_eq!(s.overlaps(15, 35), vec![(15, 20), (30, 35)]);
+        assert_eq!(s.overlaps(0, 5), vec![]);
+    }
+
+    #[test]
+    fn remove_splits_ranges() {
+        let mut s = IntervalSet::from_range(0, 100);
+        s.remove(40, 60);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 40), (60, 100)]);
+        s.remove(0, 10);
+        s.remove(90, 200);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(10, 40), (60, 90)]);
+        assert_eq!(s.total(), 60);
+    }
+
+    #[test]
+    fn random_ops_match_bitset_model() {
+        // Cross-check against a naive bit vector.
+        let mut s = IntervalSet::new();
+        let mut model = vec![false; 512];
+        let mut seed = 0xDEADBEEFu64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..300 {
+            let a = (rnd() % 512) as usize;
+            let b = (rnd() % 512) as usize;
+            let (lo, hi) = (a.min(b), a.max(b));
+            if rnd() % 3 == 0 {
+                s.remove(lo, hi);
+                model[lo..hi].iter_mut().for_each(|x| *x = false);
+            } else {
+                s.insert(lo, hi);
+                model[lo..hi].iter_mut().for_each(|x| *x = true);
+            }
+            let total_model = model.iter().filter(|&&b| b).count();
+            assert_eq!(s.total(), total_model);
+            let q = (rnd() % 512) as usize;
+            let r = ((q + (rnd() % 64) as usize).min(512)).max(q);
+            let cov_model = model[q..r].iter().all(|&b| b);
+            assert_eq!(s.covers(q, r), cov_model, "covers({q},{r})");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # copier-core — the Copier service
+//!
+//! The paper's primary contribution (§4): coordinated asynchronous memory
+//! copy as a first-class OS service. This crate provides:
+//!
+//! * the queue-based **CSH abstractions** — Copy/Sync/Handler rings with
+//!   the lock-free slot-acquisition protocol of §5.1 ([`ring::Ring`]);
+//! * **segment descriptors** for fine-grained copy-use pipelining
+//!   ([`descriptor::SegDescriptor`]);
+//! * **order dependency** across privilege levels via barrier keys and
+//!   **data dependency** with promotion ([`client`], [`service`]);
+//! * **layered copy absorption** with lazy tasks and abort ([`absorb`]);
+//! * the **copy-length scheduler** and `copier` cgroup controller
+//!   ([`sched`]);
+//! * **proactive fault handling** and pinning during planning
+//!   ([`service::Copier`]).
+//!
+//! Client-facing ergonomics (`amemcpy`/`csync`) live in `copier-client`.
+
+pub mod absorb;
+pub mod client;
+pub mod config;
+pub mod descriptor;
+pub mod interval;
+pub mod ring;
+pub mod sched;
+pub mod service;
+pub mod task;
+
+pub use absorb::{AbsorbPlan, SrcPiece, MAX_ABSORB_DEPTH};
+pub use client::{Client, ClientId, PendEntry, QueuePair, QueueSet, DEFAULT_QUEUE_CAP};
+pub use config::{CopierConfig, PollMode};
+pub use descriptor::{CopyFault, SegDescriptor, DEFAULT_SEGMENT};
+pub use interval::IntervalSet;
+pub use ring::{Ring, RingFull};
+pub use sched::{CGroup, Scheduler, DEFAULT_COPY_SLICE};
+pub use service::{Copier, CopierStats};
+pub use task::{CopyTask, Handler, Privilege, QueueEntry, SyncTask, TaskId};

@@ -1,0 +1,839 @@
+//! The Copier service: polling threads, planning, and execution (§4).
+//!
+//! Each Copier thread runs on a dedicated simulated core and loops:
+//!
+//! 1. **Drain** client CSH queues into per-set pending windows, merging
+//!    u-mode and k-mode order via barrier keys (§4.2.1);
+//! 2. **Serve Sync Tasks** (k-mode first): promotion with dependency
+//!    closure, or `abort` (§4.2.2, §4.4);
+//! 3. **Schedule** a client (CFS-by-copy-length within cgroups, §4.5.3);
+//! 4. **Select** a batch of runnable, mutually independent tasks, applying
+//!    layered copy absorption (§4.4) and deferring absorbed obligations;
+//! 5. **Plan** each task: proactive fault handling — resolve + pin every
+//!    page, via the ATCache when possible (§4.5.4, §4.3);
+//! 6. **Dispatch** the batch to the piggybacked AVX+DMA units (§4.3),
+//!    marking descriptor segments as bytes land;
+//! 7. **Complete**: run `KFUNC`s, queue `UFUNC`s, unpin, release.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use copier_hw::{
+    slice_extents, split_subtasks, ATCache, CostModel, CpuCopyKind, DispatchReport, Dispatcher,
+    DmaEngine, PlannedCopy, ProgressFn,
+};
+use copier_mem::{AddressSpace, Extent, FrameId, MemError, PhysMem, VirtAddr, PAGE_SIZE};
+use copier_sim::{Core, Nanos, Notify, SimHandle};
+
+use crate::absorb::{self, AbsorbPlan};
+use crate::client::{Client, ClientId, PendEntry, QueueSet};
+use crate::config::{CopierConfig, PollMode};
+use crate::descriptor::CopyFault;
+use crate::interval::IntervalSet;
+use crate::sched::Scheduler;
+use crate::task::{CopyTask, Handler, QueueEntry, SyncTask, TaskId};
+
+/// Aggregate service statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CopierStats {
+    /// Copy tasks fully completed.
+    pub tasks_completed: u64,
+    /// Bytes physically copied by the service.
+    pub bytes_copied: u64,
+    /// Bytes whose source was short-circuited by absorption.
+    pub bytes_absorbed: u64,
+    /// Bytes of deferred obligations eventually executed.
+    pub bytes_deferred_executed: u64,
+    /// Sync tasks processed.
+    pub syncs: u64,
+    /// Promotions performed.
+    pub promotions: u64,
+    /// Tasks aborted.
+    pub aborts: u64,
+    /// Tasks failed by faults.
+    pub faults: u64,
+    /// Idle poll sweeps.
+    pub idle_polls: u64,
+    /// Scheduling rounds that executed work.
+    pub busy_rounds: u64,
+    /// Dispatcher aggregate.
+    pub dispatch: DispatchReport,
+    /// Page faults proactively resolved during planning.
+    pub proactive_faults: u64,
+}
+
+struct Selected {
+    set: Rc<QueueSet>,
+    entry: Rc<PendEntry>,
+    plan: AbsorbPlan,
+    /// Per-round byte budget for this task (copy-slice partial execution).
+    cap: usize,
+}
+
+/// The asynchronous-copy OS service.
+pub struct Copier {
+    h: SimHandle,
+    pm: Rc<PhysMem>,
+    cost: Rc<CostModel>,
+    cfg: CopierConfig,
+    dispatcher: Rc<Dispatcher>,
+    atcache: Rc<ATCache>,
+    /// The copy-length scheduler and cgroup controller.
+    pub sched: Scheduler,
+    clients: RefCell<Vec<Rc<Client>>>,
+    cores: Vec<Rc<Core>>,
+    active_threads: Cell<usize>,
+    scenario_active: Cell<bool>,
+    wake: Rc<Notify>,
+    parked: Cell<usize>,
+    next_tid: Cell<TaskId>,
+    next_client: Cell<ClientId>,
+    stats: RefCell<CopierStats>,
+    stopping: Cell<bool>,
+}
+
+impl Copier {
+    /// Creates the service over dedicated `cores`.
+    pub fn new(
+        h: &SimHandle,
+        pm: Rc<PhysMem>,
+        cores: Vec<Rc<Core>>,
+        cost: Rc<CostModel>,
+        cfg: CopierConfig,
+    ) -> Rc<Self> {
+        assert!(!cores.is_empty(), "Copier needs at least one core");
+        let dma = cfg
+            .use_dma
+            .then(|| DmaEngine::new(h, Rc::clone(&pm), Rc::clone(&cost)));
+        let dispatcher = Rc::new(Dispatcher::new(Rc::clone(&pm), Rc::clone(&cost), dma));
+        let atcache = Rc::new(ATCache::new(cfg.atcache_capacity.max(1)));
+        atcache.set_enabled(cfg.atcache_capacity > 0);
+        let threads = if cfg.auto_scale { 1 } else { cores.len() };
+        Rc::new(Copier {
+            h: h.clone(),
+            pm,
+            cost,
+            dispatcher,
+            atcache,
+            sched: {
+                let s = Scheduler::new();
+                s.set_copy_slice(cfg.copy_slice);
+                s
+            },
+            cfg,
+            clients: RefCell::new(Vec::new()),
+            cores,
+            active_threads: Cell::new(threads),
+            scenario_active: Cell::new(true),
+            wake: Rc::new(Notify::new()),
+            parked: Cell::new(0),
+            next_tid: Cell::new(1),
+            next_client: Cell::new(1),
+            stats: RefCell::new(CopierStats::default()),
+            stopping: Cell::new(false),
+        })
+    }
+
+    /// The cost model shared with clients.
+    pub fn cost_model(&self) -> &Rc<CostModel> {
+        &self.cost
+    }
+
+    /// The simulation handle (clients use it for yield-waits).
+    pub fn sim_handle(&self) -> SimHandle {
+        self.h.clone()
+    }
+
+    /// The physical pool.
+    pub fn phys(&self) -> &Rc<PhysMem> {
+        &self.pm
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CopierConfig {
+        &self.cfg
+    }
+
+    /// The ATCache (for experiment counters).
+    pub fn atcache(&self) -> &Rc<ATCache> {
+        &self.atcache
+    }
+
+    /// Snapshot of the service statistics.
+    pub fn stats(&self) -> CopierStats {
+        *self.stats.borrow()
+    }
+
+    /// Resets the statistics.
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = CopierStats::default();
+    }
+
+    /// Registers a client with its user address space
+    /// (`copier_create_mapped_queue`).
+    pub fn register_client(&self, uspace: Rc<AddressSpace>) -> Rc<Client> {
+        let id = self.next_client.get();
+        self.next_client.set(id + 1);
+        let c = Client::new(id, uspace, self.cfg.queue_cap);
+        self.clients.borrow_mut().push(Rc::clone(&c));
+        c
+    }
+
+    /// Wakes parked Copier threads (`copier_awaken`).
+    pub fn awaken(&self) {
+        if self.parked.get() > 0 {
+            self.wake.notify_all();
+        }
+    }
+
+    /// Scenario-driven gate (§5.3): when inactive, threads sleep.
+    pub fn set_scenario_active(&self, on: bool) {
+        self.scenario_active.set(on);
+        if on {
+            self.wake.notify_all();
+        }
+    }
+
+    /// Stops all service threads (test teardown).
+    pub fn stop(&self) {
+        self.stopping.set(true);
+        self.wake.notify_all();
+    }
+
+    /// Currently active thread count (auto-scaling observable).
+    pub fn active_threads(&self) -> usize {
+        self.active_threads.get()
+    }
+
+    /// Starts one service task per core.
+    pub fn start(self: &Rc<Self>) {
+        for i in 0..self.cores.len() {
+            let me = Rc::clone(self);
+            self.h
+                .spawn(&format!("copier-{i}"), async move { me.thread_loop(i).await });
+        }
+    }
+
+    async fn thread_loop(self: Rc<Self>, idx: usize) {
+        let core = Rc::clone(&self.cores[idx]);
+        let mut idle_streak = 0u32;
+        loop {
+            if self.stopping.get() {
+                return;
+            }
+            // Auto-scaling park: threads beyond the active count sleep.
+            if idx >= self.active_threads.get() {
+                self.parked.set(self.parked.get() + 1);
+                self.wake
+                    .wait_timeout(&self.h, Nanos::from_millis(1))
+                    .await;
+                self.parked.set(self.parked.get() - 1);
+                continue;
+            }
+            // Scenario gate.
+            if self.cfg.polling == PollMode::ScenarioDriven && !self.scenario_active.get() {
+                self.parked.set(self.parked.get() + 1);
+                self.wake.notified().await;
+                self.parked.set(self.parked.get() - 1);
+                core.advance(self.cfg.wake_latency).await;
+                continue;
+            }
+            let did = self.round(idx, &core).await;
+            if idx == 0 && self.cfg.auto_scale {
+                self.autoscale();
+            }
+            if did {
+                idle_streak = 0;
+                self.stats.borrow_mut().busy_rounds += 1;
+                continue;
+            }
+            self.stats.borrow_mut().idle_polls += 1;
+            core.advance(self.cost.poll_idle).await;
+            idle_streak += 1;
+            match self.cfg.polling {
+                PollMode::Napi {
+                    spin_rounds,
+                    park_timeout,
+                } => {
+                    if idle_streak > spin_rounds {
+                        self.parked.set(self.parked.get() + 1);
+                        let notified = self.wake.wait_timeout(&self.h, park_timeout).await;
+                        self.parked.set(self.parked.get() - 1);
+                        if notified {
+                            // Kthread wakeup latency before the next sweep.
+                            core.advance(self.cfg.wake_latency).await;
+                        }
+                        idle_streak = 0;
+                    }
+                }
+                PollMode::ScenarioDriven => {
+                    // Even inside an active scenario the thread sleeps when
+                    // queues run empty (§6.2.4: "sleeps when queues are
+                    // empty") — submissions call copier_awaken.
+                    if idle_streak > 4 {
+                        self.parked.set(self.parked.get() + 1);
+                        let notified =
+                            self.wake.wait_timeout(&self.h, Nanos::from_millis(5)).await;
+                        self.parked.set(self.parked.get() - 1);
+                        if notified {
+                            core.advance(self.cfg.wake_latency).await;
+                        }
+                        idle_streak = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn autoscale(&self) {
+        let load: usize = self
+            .clients
+            .borrow()
+            .iter()
+            .flat_map(|c| c.sets.borrow().iter().map(|s| s.pending_bytes()).collect::<Vec<_>>())
+            .sum();
+        let active = self.active_threads.get();
+        if load > self.cfg.high_load && active < self.cores.len() {
+            self.active_threads.set(active + 1);
+            self.wake.notify_all();
+        } else if load < self.cfg.low_load && active > 1 {
+            self.active_threads.set(active - 1);
+        }
+    }
+
+    fn assigned(&self, idx: usize) -> Vec<Rc<Client>> {
+        let n = self.active_threads.get().max(1);
+        self.clients
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % n == idx)
+            .map(|(_, c)| Rc::clone(c))
+            .collect()
+    }
+
+    /// One service round. Returns whether any work was done.
+    async fn round(self: &Rc<Self>, idx: usize, core: &Rc<Core>) -> bool {
+        let clients = self.assigned(idx);
+        // 1. Drain queues into windows.
+        let mut drained = 0usize;
+        for c in &clients {
+            let sets: Vec<Rc<QueueSet>> = c.sets.borrow().iter().cloned().collect();
+            for set in sets {
+                drained += self.drain_set(&set);
+            }
+        }
+        if drained > 0 {
+            core.advance(Nanos(self.cfg.drain_cost.as_nanos() * drained as u64))
+                .await;
+            // Settle window: submissions arrive in bursts (a syscall path
+            // or an app loop submits several copies back to back); a short
+            // pause lets the burst land so absorption and e-piggyback see
+            // adjacent tasks together.
+            if self.cfg.aggregation_delay > Nanos::ZERO {
+                core.advance(self.cfg.aggregation_delay).await;
+                let mut more = 0usize;
+                for c in &clients {
+                    let sets: Vec<Rc<QueueSet>> = c.sets.borrow().iter().cloned().collect();
+                    for set in sets {
+                        more += self.drain_set(&set);
+                    }
+                }
+                if more > 0 {
+                    core.advance(Nanos(self.cfg.drain_cost.as_nanos() * more as u64))
+                        .await;
+                }
+            }
+        }
+        // 2. Sync queues (k-mode before u-mode, §4.2.2).
+        let mut synced = 0usize;
+        for c in &clients {
+            let sets: Vec<Rc<QueueSet>> = c.sets.borrow().iter().cloned().collect();
+            for set in sets {
+                while let Some(st) = set.kq.sync.pop() {
+                    self.handle_sync(&set, st);
+                    synced += 1;
+                }
+                while let Some(st) = set.uq.sync.pop() {
+                    self.handle_sync(&set, st);
+                    synced += 1;
+                }
+            }
+        }
+        if synced > 0 {
+            core.advance(Nanos(self.cfg.drain_cost.as_nanos() * synced as u64))
+                .await;
+        }
+        // 3. Schedule a client.
+        let now = self.h.now();
+        let Some(client) = self.sched.pick(&clients, now, self.cfg.lazy_period) else {
+            return drained + synced > 0;
+        };
+        // 4. Select a batch.
+        let selected = self.select_batch(&client, now);
+        if selected.is_empty() {
+            return drained + synced > 0;
+        }
+        // 5–7. Plan, dispatch, complete.
+        self.execute(core, &client, selected).await;
+        true
+    }
+
+    /// Drains one queue set's copy queues into its pending window.
+    fn drain_set(&self, set: &Rc<QueueSet>) -> usize {
+        let mut n = 0;
+        // k-mode first so barrier keys are in place before u entries drain.
+        while let Some(e) = set.kq.copy.pop() {
+            n += 1;
+            match e {
+                QueueEntry::Barrier { peer_pos } => set.cur_k_key.set(peer_pos),
+                QueueEntry::Copy(t) => {
+                    let key = (set.cur_k_key.get(), 0u8, bump(&set.seq));
+                    self.push_pending(set, key, t);
+                }
+            }
+        }
+        while let Some(e) = set.uq.copy.pop() {
+            n += 1;
+            match e {
+                QueueEntry::Barrier { .. } => {}
+                QueueEntry::Copy(t) => {
+                    let key = (bump(&set.u_index), 1u8, bump(&set.seq));
+                    self.push_pending(set, key, t);
+                }
+            }
+        }
+        n
+    }
+
+    fn push_pending(&self, set: &Rc<QueueSet>, key: (u64, u8, u64), t: CopyTask) {
+        let tid = self.next_tid.get();
+        self.next_tid.set(tid + 1);
+        let entry = Rc::new(PendEntry {
+            tid,
+            key,
+            task: t,
+            copied: RefCell::new(IntervalSet::new()),
+            inflight: RefCell::new(IntervalSet::new()),
+            deferred: RefCell::new(IntervalSet::new()),
+            defer_until: Cell::new(Nanos::ZERO),
+            promoted: Cell::new(false),
+            aborted: Cell::new(false),
+            failed: Cell::new(None),
+            submitted_at: self.h.now(),
+            pins: RefCell::new(Vec::new()),
+            finalized: Cell::new(false),
+        });
+        let mut pending = set.pending.borrow_mut();
+        // Insert sorted by key; keys are usually increasing, so scan from
+        // the back.
+        let pos = pending
+            .iter()
+            .rposition(|p| p.key <= entry.key)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        pending.insert(pos, entry);
+    }
+
+    /// Serves one Sync Task: promotion (with dependency closure) or abort.
+    fn handle_sync(&self, set: &Rc<QueueSet>, st: SyncTask) {
+        self.stats.borrow_mut().syncs += 1;
+        let pending = set.pending.borrow();
+        let lo = st.addr.0 as usize;
+        let hi = lo + st.len;
+        // Latest matching task wins (§4.2.2 reverse traversal); an abort
+        // with an explicit descriptor matches by identity instead.
+        let target_idx = if let Some(d) = &st.target {
+            pending
+                .iter()
+                .rposition(|p| !p.finished() && Rc::ptr_eq(&p.task.descr, d))
+        } else {
+            pending.iter().rposition(|p| {
+                !p.finished()
+                    && p.task.dst_space.id() == st.space_id
+                    && crate::interval::ranges_overlap(
+                        (p.task.dst.0 as usize, p.task.dst.0 as usize + p.task.len),
+                        (lo, hi),
+                    )
+            })
+        };
+        let Some(ti) = target_idx else {
+            return;
+        };
+        if st.abort {
+            let e = Rc::clone(&pending[ti]);
+            drop(pending);
+            e.aborted.set(true);
+            e.task.descr.poison(CopyFault::Aborted);
+            self.stats.borrow_mut().aborts += 1;
+            return;
+        }
+        // Promote the target and its dependency closure (§4.2.2). Reads
+        // (RAW) from a still-pending producer do *not* force the producer
+        // when absorption is on — layering will source the bytes directly.
+        // Write hazards (WAW on the destination, WAR against a pending
+        // reader's source) always force the earlier task ahead.
+        let overlap = |ranges: &[(u32, usize, usize)], sp: u32, lo: usize, hi: usize| {
+            ranges.iter().any(|&(s, l, h)| s == sp && l < hi && lo < h)
+        };
+        let mut needed_src: Vec<(u32, usize, usize)> = Vec::new();
+        let mut needed_dst: Vec<(u32, usize, usize)> = Vec::new();
+        {
+            let t = &pending[ti].task;
+            needed_src.push((t.src_space.id(), t.src.0 as usize, t.src.0 as usize + t.len));
+            needed_dst.push((t.dst_space.id(), t.dst.0 as usize, t.dst.0 as usize + t.len));
+            pending[ti].promoted.set(true);
+            pending[ti].defer_until.set(Nanos::ZERO);
+        }
+        self.stats.borrow_mut().promotions += 1;
+        for i in (0..ti).rev() {
+            let p = &pending[i];
+            if p.finished() {
+                continue;
+            }
+            let d = p.task.dst_range();
+            let sr = p.task.src_range();
+            let waw = overlap(&needed_dst, d.0, d.1 as usize, d.2 as usize);
+            let war = overlap(&needed_dst, sr.0, sr.1 as usize, sr.2 as usize);
+            let raw = overlap(&needed_src, d.0, d.1 as usize, d.2 as usize);
+            let dep = waw || war || (raw && !self.cfg.absorption);
+            if dep {
+                p.promoted.set(true);
+                p.defer_until.set(Nanos::ZERO);
+                needed_src.push((sr.0, sr.1 as usize, sr.2 as usize));
+                needed_dst.push((d.0, d.1 as usize, d.2 as usize));
+                self.stats.borrow_mut().promotions += 1;
+            } else if raw {
+                // The promoted reader will layer over this producer's
+                // source; make sure the producer's own source ranges are
+                // also protected transitively.
+                needed_src.push((sr.0, sr.1 as usize, sr.2 as usize));
+            }
+        }
+    }
+
+    /// Selects a batch of runnable, mutually independent tasks.
+    fn select_batch(&self, client: &Rc<Client>, now: Nanos) -> Vec<Selected> {
+        let budget = self.sched.copy_slice();
+        let mut out: Vec<Selected> = Vec::new();
+        let mut bytes = 0usize;
+        let sets: Vec<Rc<QueueSet>> = client.sets.borrow().iter().cloned().collect();
+        for set in sets {
+            if bytes >= budget {
+                break;
+            }
+            let pending: Vec<Rc<PendEntry>> = set.pending.borrow().iter().cloned().collect();
+            let any_promoted = pending.iter().any(|p| p.promoted.get() && !p.finished());
+            let mut earlier: Vec<Rc<PendEntry>> = Vec::new();
+            for e in &pending {
+                if e.finished() {
+                    continue;
+                }
+                let promoted = e.promoted.get();
+                let skip = if any_promoted && !promoted {
+                    true
+                } else if promoted {
+                    false
+                } else if e.task.lazy && now < e.submitted_at + self.cfg.lazy_period {
+                    true
+                } else {
+                    e.defer_until.get() > now && e.executable_gaps(false).is_empty()
+                };
+                if skip {
+                    earlier.push(Rc::clone(e));
+                    continue;
+                }
+                let plan = absorb::analyze(e, &earlier, self.cfg.absorption);
+                if plan.blocked {
+                    // Push the blockers through first; retry next round. A
+                    // promoted entry transfers its priority to its blockers
+                    // (otherwise promoted-only rounds would starve them).
+                    for b in &plan.blockers {
+                        b.defer_until.set(Nanos::ZERO);
+                        *b.deferred.borrow_mut() = IntervalSet::new();
+                        if b.task.lazy || promoted {
+                            b.promoted.set(true);
+                        }
+                    }
+                    break;
+                }
+                let cap = (budget - bytes).min(e.remaining()).max(1);
+                bytes += e.remaining().min(cap);
+                earlier.push(Rc::clone(e));
+                out.push(Selected {
+                    set: Rc::clone(&set),
+                    entry: Rc::clone(e),
+                    plan,
+                    cap,
+                });
+                if bytes >= budget {
+                    break;
+                }
+            }
+        }
+        // Apply deferrals from all plans (after selection so every plan saw
+        // the pre-round state).
+        let now_defer = now + self.cfg.lazy_period;
+        for s in &out {
+            for (tgt, lo, hi) in &s.plan.defers {
+                tgt.deferred.borrow_mut().insert(*lo, *hi);
+                tgt.defer_until.set(now_defer);
+            }
+            let mut st = self.stats.borrow_mut();
+            st.bytes_absorbed += s.plan.absorbed_bytes as u64;
+        }
+        out
+    }
+
+    /// Translates and pins a range, via the ATCache when possible.
+    /// Returns the extents plus the fault work performed.
+    async fn translate_pin(
+        &self,
+        core: &Rc<Core>,
+        space: &Rc<AddressSpace>,
+        va: VirtAddr,
+        len: usize,
+        write: bool,
+    ) -> Result<(Vec<Extent>, Vec<FrameId>), CopyFault> {
+        if let Some(extents) = self.atcache.lookup(space, va, len) {
+            core.advance(self.cost.atc_hit).await;
+            let frames = frames_of(&extents);
+            for &f in &frames {
+                self.pm.pin(f);
+            }
+            return Ok((extents, frames));
+        }
+        let pages = len.div_ceil(PAGE_SIZE).max(1) as u64;
+        // Sequential walks over one range share PT cache lines (8 PTEs per
+        // line): the first walk pays full price, the rest a quarter.
+        let walk_cost = Nanos(
+            self.cost.pte_walk.as_nanos() + (pages - 1) * self.cost.pte_walk.as_nanos() / 4,
+        );
+        match space.resolve_and_pin_range(va, len, write) {
+            Ok((frames, work)) => {
+                // Charge the walk and any proactive fault handling.
+                let mut cost = walk_cost;
+                let faults = (work.demand_zero + work.cow_remap + work.cow_copy) as u64;
+                cost += Nanos(self.cost.page_fault.as_nanos() * faults);
+                if work.bytes_copied > 0 {
+                    cost += self.cost.cpu_copy(CpuCopyKind::Avx2, work.bytes_copied);
+                }
+                core.advance(cost).await;
+                self.stats.borrow_mut().proactive_faults += faults;
+                let extents = space
+                    .extents(va, len)
+                    .expect("extents exist after resolve");
+                self.atcache.insert(space, va, len, extents.clone());
+                Ok((extents, frames))
+            }
+            Err(e) => {
+                core.advance(walk_cost).await;
+                Err(match e {
+                    MemError::OutOfMemory => CopyFault::OutOfMemory,
+                    _ => CopyFault::Segv,
+                })
+            }
+        }
+    }
+
+    /// Plans, dispatches, and completes a selected batch.
+    async fn execute(self: &Rc<Self>, core: &Rc<Core>, client: &Rc<Client>, sel: Vec<Selected>) {
+        let now = self.h.now();
+        let mut planned: Vec<PlannedCopy> = Vec::new();
+        let mut by_tid: BTreeMap<TaskId, Rc<PendEntry>> = BTreeMap::new();
+        let mut live: Vec<&Selected> = Vec::new();
+        let mut planned_bytes = 0usize;
+
+        for s in &sel {
+            let e = &s.entry;
+            if e.finished() {
+                continue;
+            }
+            let force = e.promoted.get() || now >= e.defer_until.get();
+            let gaps = truncate_gaps(e.executable_gaps(force), s.cap);
+            if gaps.is_empty() {
+                continue;
+            }
+            match self.plan_entry(core, e, &s.plan, &gaps).await {
+                Ok(pc) => {
+                    let deferred_exec: usize = {
+                        let d = e.deferred.borrow();
+                        gaps.iter()
+                            .map(|&(lo, hi)| {
+                                d.overlaps(lo, hi).iter().map(|(a, b)| b - a).sum::<usize>()
+                            })
+                            .sum()
+                    };
+                    self.stats.borrow_mut().bytes_deferred_executed += deferred_exec as u64;
+                    planned_bytes += pc.subtasks.iter().map(|st| st.len()).sum::<usize>();
+                    for &(lo, hi) in &gaps {
+                        e.inflight.borrow_mut().insert(lo, hi);
+                        e.deferred.borrow_mut().remove(lo, hi);
+                    }
+                    by_tid.insert(e.tid, Rc::clone(e));
+                    planned.push(pc);
+                    live.push(s);
+                }
+                Err(fault) => {
+                    e.failed.set(Some(fault));
+                    e.task.descr.poison(fault);
+                    client.signals.borrow_mut().push(fault);
+                    self.stats.borrow_mut().faults += 1;
+                    self.finalize(&s.set, e);
+                }
+            }
+        }
+
+        if !planned.is_empty() {
+            let map = Rc::new(by_tid);
+            let map2 = Rc::clone(&map);
+            let progress: ProgressFn = Rc::new(move |tid, off, len| {
+                if let Some(e) = map2.get(&tid) {
+                    mark_progress(e, off, len);
+                }
+            });
+            let report = self.dispatcher.execute_batch(core, &planned, progress).await;
+            {
+                let mut st = self.stats.borrow_mut();
+                st.bytes_copied += (report.cpu_bytes + report.dma_bytes) as u64;
+                st.dispatch.cpu_bytes += report.cpu_bytes;
+                st.dispatch.dma_bytes += report.dma_bytes;
+                st.dispatch.dma_descriptors += report.dma_descriptors;
+                st.dispatch.dma_wait += report.dma_wait;
+            }
+            self.sched.charge(client, planned_bytes);
+        }
+
+        // Completion pass.
+        for s in sel.iter() {
+            if s.entry.finished() {
+                self.finalize(&s.set, &s.entry);
+            }
+        }
+    }
+
+    /// Builds the hardware plan for one entry's executable gaps.
+    async fn plan_entry(
+        &self,
+        core: &Rc<Core>,
+        e: &Rc<PendEntry>,
+        plan: &AbsorbPlan,
+        gaps: &[(usize, usize)],
+    ) -> Result<PlannedCopy, CopyFault> {
+        let t = &e.task;
+        let (dst_ex, dst_frames) = self
+            .translate_pin(core, &t.dst_space, t.dst, t.len, true)
+            .await?;
+        e.pins
+            .borrow_mut()
+            .push((Rc::clone(&t.dst_space), dst_frames));
+        let mut subtasks = Vec::new();
+        for &(glo, ghi) in gaps {
+            for p in &plan.pieces {
+                let lo = glo.max(p.off);
+                let hi = ghi.min(p.off + p.len);
+                if lo >= hi {
+                    continue;
+                }
+                let src_va = p.va.add(lo - p.off);
+                let (src_ex, src_frames) = self
+                    .translate_pin(core, &p.space, src_va, hi - lo, false)
+                    .await?;
+                e.pins
+                    .borrow_mut()
+                    .push((Rc::clone(&p.space), src_frames));
+                let dst_slice = slice_extents(&dst_ex, lo, hi - lo);
+                for mut st in split_subtasks(&dst_slice, &src_ex) {
+                    st.task_off += lo;
+                    subtasks.push(st);
+                }
+            }
+        }
+        subtasks.sort_by_key(|st| st.task_off);
+        Ok(PlannedCopy {
+            task_id: e.tid,
+            len: t.len,
+            subtasks,
+        })
+    }
+
+    /// Completes a task: handlers, unpinning, window removal. Idempotent:
+    /// only the first caller runs the handler and releases pins.
+    fn finalize(&self, set: &Rc<QueueSet>, e: &Rc<PendEntry>) {
+        if e.finalized.replace(true) {
+            return;
+        }
+        // Unpin everything the planning pinned.
+        for (space, frames) in e.pins.borrow_mut().drain(..) {
+            space.unpin_frames(&frames);
+        }
+        if e.failed.get().is_none() {
+            if let Some(h) = &e.task.func {
+                match h {
+                    Handler::KFunc(f) => f(),
+                    Handler::UFunc(f) => {
+                        // Deliver to the client's handler queue; libCopier
+                        // runs it in post_handlers().
+                        let _ = set.uq.handler.push(Handler::UFunc(Rc::clone(f)));
+                    }
+                }
+            }
+        }
+        if !e.aborted.get() && e.failed.get().is_none() {
+            self.stats.borrow_mut().tasks_completed += 1;
+        }
+        set.pending.borrow_mut().retain(|p| !Rc::ptr_eq(p, e));
+    }
+}
+
+/// Cuts a gap list down to at most `cap` total bytes (copy-slice rounds).
+fn truncate_gaps(gaps: Vec<(usize, usize)>, cap: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(gaps.len());
+    let mut left = cap;
+    for (lo, hi) in gaps {
+        if left == 0 {
+            break;
+        }
+        let take = (hi - lo).min(left);
+        out.push((lo, lo + take));
+        left -= take;
+    }
+    out
+}
+
+fn bump(c: &Cell<u64>) -> u64 {
+    let v = c.get();
+    c.set(v + 1);
+    v
+}
+
+/// Records landed bytes and flips fully covered descriptor segments.
+fn mark_progress(e: &Rc<PendEntry>, off: usize, len: usize) {
+    let end = (off + len).min(e.task.len);
+    e.copied.borrow_mut().insert(off, end);
+    e.inflight.borrow_mut().remove(off, end);
+    let d = &e.task.descr;
+    let seg = d.segment_size();
+    let first = off / seg;
+    let last = (end.saturating_sub(1)) / seg;
+    let copied = e.copied.borrow();
+    for i in first..=last.min(d.num_segments() - 1) {
+        let (s, t) = d.segment_range(i);
+        if copied.covers(s, t) {
+            d.mark(i);
+        }
+    }
+}
+
+/// The frames spanned by a list of extents (for pinning).
+fn frames_of(extents: &[Extent]) -> Vec<FrameId> {
+    let mut out = Vec::new();
+    for e in extents {
+        let pages = (e.off + e.len).div_ceil(PAGE_SIZE);
+        for p in 0..pages {
+            out.push(FrameId(e.frame.0 + p as u32));
+        }
+    }
+    out
+}

@@ -1,0 +1,237 @@
+//! Simulated DMA engine (Intel I/OAT stand-in).
+//!
+//! The engine is a device: it owns a descriptor queue and a device task
+//! that processes descriptors sequentially in *device time* — no simulated
+//! core is consumed while a transfer runs, which is exactly why piggybacking
+//! it under AVX copies is profitable (§4.3). The CPU-side costs (descriptor
+//! submission, completion checks) are charged by the dispatcher.
+//!
+//! Constraints mirrored from real hardware: each descriptor's source and
+//! destination must be physically contiguous ranges.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use copier_mem::PhysMem;
+use copier_sim::{Chan, Nanos, Notify, SimHandle};
+
+use crate::cost::CostModel;
+use crate::units::{copy_extent_pair, SubTask};
+
+/// Completion state of one submitted descriptor.
+pub struct DmaCompletion {
+    done: Cell<bool>,
+    notify: Notify,
+    /// The subtask the descriptor covered (for progress reporting).
+    pub subtask: SubTask,
+}
+
+impl DmaCompletion {
+    /// Whether the transfer has finished.
+    pub fn is_done(&self) -> bool {
+        self.done.get()
+    }
+
+    /// Waits (in virtual time) for the transfer to finish.
+    pub async fn wait(&self) {
+        if !self.done.get() {
+            self.notify.notified().await;
+            debug_assert!(self.done.get());
+        }
+    }
+}
+
+struct Descriptor {
+    st: SubTask,
+    completion: Rc<DmaCompletion>,
+    /// Invoked in device context the moment the data lands — drives
+    /// fine-grained descriptor-bitmap updates.
+    on_done: Option<Box<dyn Fn(&SubTask)>>,
+}
+
+/// Statistics of the engine since creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmaStats {
+    /// Descriptors completed.
+    pub transfers: u64,
+    /// Bytes moved by the device.
+    pub bytes: u64,
+    /// Total device busy time.
+    pub busy: Nanos,
+}
+
+/// The simulated DMA engine.
+pub struct DmaEngine {
+    pm: Rc<PhysMem>,
+    cost: Rc<CostModel>,
+    queue: Chan<Descriptor>,
+    stats: Rc<Cell<DmaStats>>,
+}
+
+impl DmaEngine {
+    /// Creates the engine and spawns its device task on `h`.
+    pub fn new(h: &SimHandle, pm: Rc<PhysMem>, cost: Rc<CostModel>) -> Rc<Self> {
+        let queue: Chan<Descriptor> = Chan::new();
+        let stats = Rc::new(Cell::new(DmaStats::default()));
+        let eng = Rc::new(DmaEngine {
+            pm: Rc::clone(&pm),
+            cost: Rc::clone(&cost),
+            queue: queue.clone(),
+            stats: Rc::clone(&stats),
+        });
+        let h2 = h.clone();
+        h.spawn("dma-engine", async move {
+            loop {
+                let d = match queue.recv().await {
+                    Some(d) => d,
+                    None => break,
+                };
+                let dur = cost.dma_transfer(d.st.len());
+                // Device time: a plain sleep, not a core advance.
+                h2.sleep(dur).await;
+                copy_extent_pair(&pm, d.st.dst, d.st.src);
+                d.completion.done.set(true);
+                d.completion.notify.notify_all();
+                if let Some(cb) = &d.on_done {
+                    cb(&d.st);
+                }
+                let mut s = stats.get();
+                s.transfers += 1;
+                s.bytes += d.st.len() as u64;
+                s.busy += dur;
+                stats.set(s);
+            }
+        });
+        eng
+    }
+
+    /// Submits one descriptor. Returns its completion handle.
+    ///
+    /// The *CPU* cost of submission ([`CostModel::dma_submit`]) must be
+    /// charged by the caller on its own core; this method only queues
+    /// device work.
+    pub fn submit(
+        &self,
+        st: SubTask,
+        on_done: Option<Box<dyn Fn(&SubTask)>>,
+    ) -> Rc<DmaCompletion> {
+        let completion = Rc::new(DmaCompletion {
+            done: Cell::new(false),
+            notify: Notify::new(),
+            subtask: st,
+        });
+        self.queue.send(Descriptor {
+            st,
+            completion: Rc::clone(&completion),
+            on_done,
+        });
+        completion
+    }
+
+    /// Device statistics.
+    pub fn stats(&self) -> DmaStats {
+        self.stats.get()
+    }
+
+    /// The engine's physical pool (for diagnostics).
+    pub fn phys(&self) -> &Rc<PhysMem> {
+        &self.pm
+    }
+
+    /// The engine's cost model.
+    pub fn cost_model(&self) -> &Rc<CostModel> {
+        &self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copier_mem::{AllocPolicy, Extent};
+    use copier_sim::Sim;
+
+    #[test]
+    fn dma_moves_bytes_in_device_time() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let pm = Rc::new(PhysMem::new(8, AllocPolicy::Sequential));
+        let cost = Rc::new(CostModel::default());
+        let eng = DmaEngine::new(&h, Rc::clone(&pm), Rc::clone(&cost));
+
+        let a = pm.alloc().unwrap();
+        let b = pm.alloc().unwrap();
+        pm.write(a, 0, b"dma payload");
+        let st = SubTask {
+            task_off: 0,
+            src: Extent {
+                frame: a,
+                off: 0,
+                len: 11,
+            },
+            dst: Extent {
+                frame: b,
+                off: 0,
+                len: 11,
+            },
+        };
+        let eng2 = Rc::clone(&eng);
+        let pm2 = Rc::clone(&pm);
+        let h2 = h.clone();
+        sim.spawn("driver", async move {
+            let t0 = h2.now();
+            let c = eng2.submit(st, None);
+            // Submission returns immediately; data not yet there.
+            assert!(!c.is_done());
+            c.wait().await;
+            assert_eq!(h2.now() - t0, CostModel::default().dma_transfer(11));
+            let mut buf = [0u8; 11];
+            pm2.read(b, 0, &mut buf);
+            assert_eq!(&buf, b"dma payload");
+        });
+        sim.run();
+        assert_eq!(eng.stats().transfers, 1);
+        assert_eq!(eng.stats().bytes, 11);
+    }
+
+    #[test]
+    fn descriptors_processed_in_order_with_callbacks() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let pm = Rc::new(PhysMem::new(8, AllocPolicy::Sequential));
+        let cost = Rc::new(CostModel::default());
+        let eng = DmaEngine::new(&h, Rc::clone(&pm), cost);
+        let a = pm.alloc().unwrap();
+        let b = pm.alloc().unwrap();
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut completions = Vec::new();
+        for i in 0..3usize {
+            let st = SubTask {
+                task_off: i * 100,
+                src: Extent {
+                    frame: a,
+                    off: i * 100,
+                    len: 100,
+                },
+                dst: Extent {
+                    frame: b,
+                    off: i * 100,
+                    len: 100,
+                },
+            };
+            let log2 = Rc::clone(&log);
+            completions.push(eng.submit(
+                st,
+                Some(Box::new(move |s: &SubTask| {
+                    log2.borrow_mut().push(s.task_off);
+                })),
+            ));
+        }
+        let last = completions.pop().unwrap();
+        sim.spawn("driver", async move {
+            last.wait().await;
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 100, 200]);
+        assert!(completions.iter().all(|c| c.is_done()));
+    }
+}

@@ -1,0 +1,392 @@
+//! Simulated physical memory: a pool of 4 KiB frames with real backing data.
+//!
+//! Frames are identified by [`FrameId`]; two frames are *physically
+//! contiguous* iff their ids are consecutive — the property the DMA engine
+//! requires of its transfers (§4.3 of the paper). The allocator can hand out
+//! deliberately scattered frames so that the dispatcher's subtask splitting
+//! is exercised on realistic fragmented layouts.
+//!
+//! All frame data is real memory: copies through this module genuinely move
+//! bytes, so correctness (not just timing) is testable end to end.
+
+use std::cell::{Cell, RefCell};
+
+/// Size of one page/frame in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Index of a physical frame. Consecutive ids are physically contiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(pub u32);
+
+/// How the allocator picks frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Pop the lowest free frame — long allocations come out contiguous.
+    Sequential,
+    /// Hand out frames in a pre-shuffled order — allocations are fragmented,
+    /// matching a long-running system (Fig. 7-b "all pages non-contiguous").
+    Scattered,
+}
+
+struct FrameSlot {
+    /// Lazily allocated backing data; `None` until first touched.
+    data: RefCell<Option<Box<[u8]>>>,
+    /// CoW sharing count. 0 = free.
+    refcnt: Cell<u16>,
+    /// Pin count — a pinned frame's mapping must not be torn down (§4.5.4).
+    pins: Cell<u16>,
+}
+
+/// Errors from the physical allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysError {
+    /// The pool has no free frame (or no suitable contiguous run).
+    OutOfMemory,
+}
+
+/// A fixed-capacity pool of frames.
+pub struct PhysMem {
+    slots: Vec<FrameSlot>,
+    free: RefCell<Vec<FrameId>>,
+    policy: Cell<AllocPolicy>,
+    allocated: Cell<usize>,
+}
+
+impl PhysMem {
+    /// Creates a pool of `frames` frames under the given policy.
+    ///
+    /// `Scattered` pre-shuffles the free list with a fixed multiplicative
+    /// permutation so runs are reproducible.
+    pub fn new(frames: usize, policy: AllocPolicy) -> Self {
+        assert!(frames > 0 && frames < u32::MAX as usize);
+        let slots = (0..frames)
+            .map(|_| FrameSlot {
+                data: RefCell::new(None),
+                refcnt: Cell::new(0),
+                pins: Cell::new(0),
+            })
+            .collect();
+        let mut free: Vec<FrameId> = (0..frames as u32).map(FrameId).collect();
+        if policy == AllocPolicy::Scattered {
+            // Deterministic pseudo-shuffle: iterate with a stride coprime to
+            // the frame count, which breaks up almost all contiguity.
+            let n = frames as u64;
+            let mut stride = (n / 2 + 1) | 1;
+            while gcd(stride, n) != 1 {
+                stride += 2;
+            }
+            free = (0..n).map(|i| FrameId(((i * stride) % n) as u32)).collect();
+        }
+        // Pop from the back; reverse so low ids come out first under Sequential.
+        free.reverse();
+        PhysMem {
+            slots,
+            free: RefCell::new(free),
+            policy: Cell::new(policy),
+            allocated: Cell::new(0),
+        }
+    }
+
+    /// Total frames in the pool.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Frames currently allocated.
+    pub fn allocated(&self) -> usize {
+        self.allocated.get()
+    }
+
+    /// Current allocation policy.
+    pub fn policy(&self) -> AllocPolicy {
+        self.policy.get()
+    }
+
+    /// Allocates one frame with refcount 1. Its contents are zeroed.
+    pub fn alloc(&self) -> Result<FrameId, PhysError> {
+        let f = self
+            .free
+            .borrow_mut()
+            .pop()
+            .ok_or(PhysError::OutOfMemory)?;
+        let slot = &self.slots[f.0 as usize];
+        debug_assert_eq!(slot.refcnt.get(), 0);
+        slot.refcnt.set(1);
+        // Zero (or lazily create) the data: fresh frames must read as zero.
+        let mut data = slot.data.borrow_mut();
+        match data.as_mut() {
+            Some(d) => d.fill(0),
+            None => *data = Some(vec![0u8; PAGE_SIZE].into_boxed_slice()),
+        }
+        self.allocated.set(self.allocated.get() + 1);
+        Ok(f)
+    }
+
+    /// Allocates `n` physically contiguous frames (refcount 1 each).
+    ///
+    /// Used for kernel buffers (sk_buffs) and huge-page-like regions. This
+    /// scans for a run of free ids, so it succeeds even under `Scattered`.
+    pub fn alloc_contiguous(&self, n: usize) -> Result<FrameId, PhysError> {
+        assert!(n > 0);
+        if n == 1 {
+            return self.alloc();
+        }
+        // Find the lowest run of n free frames.
+        let mut run = 0usize;
+        let mut start = 0usize;
+        let mut found = None;
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.refcnt.get() == 0 {
+                if run == 0 {
+                    start = i;
+                }
+                run += 1;
+                if run == n {
+                    found = Some(start);
+                    break;
+                }
+            } else {
+                run = 0;
+            }
+        }
+        let start = found.ok_or(PhysError::OutOfMemory)?;
+        // Remove the run's ids from the free list.
+        self.free
+            .borrow_mut()
+            .retain(|f| (f.0 as usize) < start || (f.0 as usize) >= start + n);
+        for i in start..start + n {
+            let slot = &self.slots[i];
+            slot.refcnt.set(1);
+            let mut data = slot.data.borrow_mut();
+            match data.as_mut() {
+                Some(d) => d.fill(0),
+                None => *data = Some(vec![0u8; PAGE_SIZE].into_boxed_slice()),
+            }
+        }
+        self.allocated.set(self.allocated.get() + n);
+        Ok(FrameId(start as u32))
+    }
+
+    /// Increments a frame's share count (CoW fork).
+    pub fn incref(&self, f: FrameId) {
+        let slot = &self.slots[f.0 as usize];
+        assert!(slot.refcnt.get() > 0, "incref of free frame");
+        slot.refcnt.set(slot.refcnt.get() + 1);
+    }
+
+    /// Decrements the share count, freeing the frame at zero.
+    pub fn decref(&self, f: FrameId) {
+        let slot = &self.slots[f.0 as usize];
+        let rc = slot.refcnt.get();
+        assert!(rc > 0, "decref of free frame {f:?}");
+        slot.refcnt.set(rc - 1);
+        if rc == 1 {
+            assert_eq!(slot.pins.get(), 0, "freeing a pinned frame");
+            self.free.borrow_mut().push(f);
+            self.allocated.set(self.allocated.get() - 1);
+        }
+    }
+
+    /// Current share count of a frame.
+    pub fn refcount(&self, f: FrameId) -> u16 {
+        self.slots[f.0 as usize].refcnt.get()
+    }
+
+    /// Pins a frame (its mapping is locked for an in-flight copy).
+    pub fn pin(&self, f: FrameId) {
+        let slot = &self.slots[f.0 as usize];
+        assert!(slot.refcnt.get() > 0, "pin of free frame");
+        slot.pins.set(slot.pins.get() + 1);
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&self, f: FrameId) {
+        let slot = &self.slots[f.0 as usize];
+        let p = slot.pins.get();
+        assert!(p > 0, "unpin without pin");
+        slot.pins.set(p - 1);
+    }
+
+    /// Whether the frame is currently pinned.
+    pub fn is_pinned(&self, f: FrameId) -> bool {
+        self.slots[f.0 as usize].pins.get() > 0
+    }
+
+    /// Reads from a frame into `buf`.
+    ///
+    /// # Panics
+    /// If the range exceeds the page or the frame is free.
+    pub fn read(&self, f: FrameId, off: usize, buf: &mut [u8]) {
+        assert!(off + buf.len() <= PAGE_SIZE);
+        let slot = &self.slots[f.0 as usize];
+        assert!(slot.refcnt.get() > 0, "read of free frame");
+        let data = slot.data.borrow();
+        buf.copy_from_slice(&data.as_ref().expect("allocated frame has data")[off..off + buf.len()]);
+    }
+
+    /// Writes `buf` into a frame.
+    pub fn write(&self, f: FrameId, off: usize, buf: &[u8]) {
+        assert!(off + buf.len() <= PAGE_SIZE);
+        let slot = &self.slots[f.0 as usize];
+        assert!(slot.refcnt.get() > 0, "write of free frame");
+        let mut data = slot.data.borrow_mut();
+        data.as_mut().expect("allocated frame has data")[off..off + buf.len()]
+            .copy_from_slice(buf);
+    }
+
+    /// Copies bytes between frames — the real data movement behind every
+    /// simulated copy.
+    ///
+    /// Handles the same-frame case (used by intra-page `memmove`) with a
+    /// bounce buffer.
+    pub fn copy(
+        &self,
+        dst: FrameId,
+        dst_off: usize,
+        src: FrameId,
+        src_off: usize,
+        len: usize,
+    ) {
+        assert!(dst_off + len <= PAGE_SIZE && src_off + len <= PAGE_SIZE);
+        if len == 0 {
+            return;
+        }
+        let ds = &self.slots[dst.0 as usize];
+        let ss = &self.slots[src.0 as usize];
+        assert!(ds.refcnt.get() > 0 && ss.refcnt.get() > 0);
+        if dst == src {
+            let mut data = ds.data.borrow_mut();
+            let d = data.as_mut().expect("allocated frame has data");
+            d.copy_within(src_off..src_off + len, dst_off);
+            return;
+        }
+        let sdata = ss.data.borrow();
+        let mut ddata = ds.data.borrow_mut();
+        ddata.as_mut().expect("allocated frame has data")[dst_off..dst_off + len]
+            .copy_from_slice(&sdata.as_ref().expect("allocated frame has data")[src_off..src_off + len]);
+    }
+
+    /// Copies a whole frame (CoW break helper). Returns bytes copied.
+    pub fn copy_frame(&self, dst: FrameId, src: FrameId) -> usize {
+        self.copy(dst, 0, src, 0, PAGE_SIZE);
+        PAGE_SIZE
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_alloc_is_contiguous() {
+        let pm = PhysMem::new(16, AllocPolicy::Sequential);
+        let a = pm.alloc().unwrap();
+        let b = pm.alloc().unwrap();
+        let c = pm.alloc().unwrap();
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+    }
+
+    #[test]
+    fn scattered_alloc_is_fragmented() {
+        let pm = PhysMem::new(64, AllocPolicy::Scattered);
+        let ids: Vec<u32> = (0..8).map(|_| pm.alloc().unwrap().0).collect();
+        let contiguous_pairs = ids.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(contiguous_pairs <= 1, "ids = {ids:?}");
+    }
+
+    #[test]
+    fn alloc_contiguous_finds_runs() {
+        let pm = PhysMem::new(32, AllocPolicy::Scattered);
+        let start = pm.alloc_contiguous(8).unwrap();
+        // Frames start..start+8 all allocated.
+        for i in 0..8 {
+            assert_eq!(pm.refcount(FrameId(start.0 + i)), 1);
+        }
+        assert_eq!(pm.allocated(), 8);
+    }
+
+    #[test]
+    fn oom_reported() {
+        let pm = PhysMem::new(2, AllocPolicy::Sequential);
+        pm.alloc().unwrap();
+        pm.alloc().unwrap();
+        assert_eq!(pm.alloc(), Err(PhysError::OutOfMemory));
+        assert_eq!(pm.alloc_contiguous(2), Err(PhysError::OutOfMemory));
+    }
+
+    #[test]
+    fn fresh_frames_are_zero_even_after_reuse() {
+        let pm = PhysMem::new(1, AllocPolicy::Sequential);
+        let f = pm.alloc().unwrap();
+        pm.write(f, 10, b"dirty");
+        pm.decref(f);
+        let g = pm.alloc().unwrap();
+        assert_eq!(g, f);
+        let mut buf = [1u8; 16];
+        pm.read(g, 8, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn refcount_lifecycle() {
+        let pm = PhysMem::new(4, AllocPolicy::Sequential);
+        let f = pm.alloc().unwrap();
+        pm.incref(f);
+        assert_eq!(pm.refcount(f), 2);
+        pm.decref(f);
+        assert_eq!(pm.allocated(), 1);
+        pm.decref(f);
+        assert_eq!(pm.allocated(), 0);
+        assert_eq!(pm.refcount(f), 0);
+    }
+
+    #[test]
+    fn copy_moves_real_bytes() {
+        let pm = PhysMem::new(4, AllocPolicy::Sequential);
+        let a = pm.alloc().unwrap();
+        let b = pm.alloc().unwrap();
+        pm.write(a, 100, b"hello copier");
+        pm.copy(b, 200, a, 100, 12);
+        let mut buf = [0u8; 12];
+        pm.read(b, 200, &mut buf);
+        assert_eq!(&buf, b"hello copier");
+    }
+
+    #[test]
+    fn same_frame_overlapping_copy() {
+        let pm = PhysMem::new(1, AllocPolicy::Sequential);
+        let f = pm.alloc().unwrap();
+        pm.write(f, 0, b"abcdef");
+        pm.copy(f, 2, f, 0, 4); // memmove semantics
+        let mut buf = [0u8; 6];
+        pm.read(f, 0, &mut buf);
+        assert_eq!(&buf, b"ababcd");
+    }
+
+    #[test]
+    fn pin_tracking() {
+        let pm = PhysMem::new(2, AllocPolicy::Sequential);
+        let f = pm.alloc().unwrap();
+        pm.pin(f);
+        assert!(pm.is_pinned(f));
+        pm.unpin(f);
+        assert!(!pm.is_pinned(f));
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing a pinned frame")]
+    fn freeing_pinned_frame_panics() {
+        let pm = PhysMem::new(2, AllocPolicy::Sequential);
+        let f = pm.alloc().unwrap();
+        pm.pin(f);
+        pm.decref(f);
+    }
+}

@@ -1,0 +1,977 @@
+//! Virtual address spaces: VMAs, page tables, demand paging, and CoW.
+//!
+//! This is the slice of a kernel memory subsystem Copier has to coordinate
+//! with (§4.5.4): virtual addresses submitted by clients may be unbacked
+//! (on-demand paging), write-protected (CoW), pinned, or simply illegal, and
+//! the service must resolve all of that *proactively* in its own context.
+//!
+//! The model is a per-process [`AddressSpace`]: a `BTreeMap` of VMAs plus a
+//! single-level page table mapping virtual page numbers to [`FrameId`]s.
+//! A monotonically increasing *generation* is bumped on every change that
+//! could invalidate a cached translation — the hook the ATCache (§4.3)
+//! subscribes to.
+
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::phys::{FrameId, PhysError, PhysMem, PAGE_SIZE};
+
+/// A virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Address plus byte offset.
+    pub fn add(self, off: usize) -> VirtAddr {
+        VirtAddr(self.0 + off as u64)
+    }
+
+    /// The virtual page number containing this address.
+    pub fn vpn(self) -> u64 {
+        self.0 / PAGE_SIZE as u64
+    }
+
+    /// Byte offset within the page.
+    pub fn page_off(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+
+    /// Whether the address is page aligned.
+    pub fn is_page_aligned(self) -> bool {
+        self.0 % PAGE_SIZE as u64 == 0
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// Base of the user mmap area.
+pub const USER_BASE: u64 = 0x0000_1000_0000;
+/// Any address at or above this is a (simulated) kernel address; user tasks
+/// naming such addresses fail Copier's security check.
+pub const KERNEL_BASE: u64 = 0xFFFF_8000_0000_0000;
+
+/// Page protection bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prot {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+}
+
+impl Prot {
+    /// Read-only protection.
+    pub const RO: Prot = Prot {
+        read: true,
+        write: false,
+    };
+    /// Read-write protection.
+    pub const RW: Prot = Prot {
+        read: true,
+        write: true,
+    };
+}
+
+/// A page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Backing frame.
+    pub frame: FrameId,
+    /// Hardware-writable right now (false for unbroken CoW pages).
+    pub writable: bool,
+    /// Copy-on-write: a write fault must duplicate the frame.
+    pub cow: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Vma {
+    end: u64,
+    prot: Prot,
+    /// Shared mappings never turn CoW on fork and never break on write.
+    shared: bool,
+}
+
+/// Why an access could not be resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// No VMA covers the address, or protection forbids the access — the
+    /// process would receive SIGSEGV.
+    Segv(VirtAddr),
+    /// Physical memory exhausted while handling a fault.
+    OutOfMemory,
+    /// The operation would tear down a pinned mapping.
+    Pinned(VirtAddr),
+    /// Address arithmetic overflowed or the range is empty/kernel-reserved.
+    BadRange,
+}
+
+impl From<PhysError> for MemError {
+    fn from(_: PhysError) -> Self {
+        MemError::OutOfMemory
+    }
+}
+
+/// What a fault resolution did, for cost accounting by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultWork {
+    /// Page-table walks performed.
+    pub walks: u32,
+    /// Demand-zero pages allocated.
+    pub demand_zero: u32,
+    /// CoW faults resolved by re-mapping only (sole owner).
+    pub cow_remap: u32,
+    /// CoW faults that required a full page copy.
+    pub cow_copy: u32,
+    /// Bytes physically copied by CoW breaks.
+    pub bytes_copied: usize,
+}
+
+impl FaultWork {
+    /// Accumulates another resolution's work.
+    pub fn add(&mut self, o: FaultWork) {
+        self.walks += o.walks;
+        self.demand_zero += o.demand_zero;
+        self.cow_remap += o.cow_remap;
+        self.cow_copy += o.cow_copy;
+        self.bytes_copied += o.bytes_copied;
+    }
+
+    /// Whether any fault (beyond a plain walk) occurred.
+    pub fn faulted(&self) -> bool {
+        self.demand_zero + self.cow_remap + self.cow_copy > 0
+    }
+}
+
+/// A physically contiguous extent of a virtual range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First frame of the extent.
+    pub frame: FrameId,
+    /// Byte offset within the first frame.
+    pub off: usize,
+    /// Total length in bytes (may span multiple contiguous frames).
+    pub len: usize,
+}
+
+/// Identifies an address space (process) for diagnostics.
+pub type AsId = u32;
+
+/// A simulated process address space.
+pub struct AddressSpace {
+    id: AsId,
+    pm: Rc<PhysMem>,
+    vmas: RefCell<BTreeMap<u64, Vma>>,
+    pt: RefCell<BTreeMap<u64, Pte>>,
+    generation: Cell<u64>,
+    next_va: Cell<u64>,
+    /// Cumulative fault work, for experiment reporting.
+    stats: RefCell<FaultWork>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space over the given physical pool.
+    pub fn new(id: AsId, pm: Rc<PhysMem>) -> Rc<Self> {
+        Rc::new(AddressSpace {
+            id,
+            pm,
+            vmas: RefCell::new(BTreeMap::new()),
+            pt: RefCell::new(BTreeMap::new()),
+            generation: Cell::new(0),
+            next_va: Cell::new(USER_BASE),
+            stats: RefCell::new(FaultWork::default()),
+        })
+    }
+
+    /// This space's id.
+    pub fn id(&self) -> AsId {
+        self.id
+    }
+
+    /// The backing physical pool.
+    pub fn phys(&self) -> &Rc<PhysMem> {
+        &self.pm
+    }
+
+    /// Translation-cache generation; bumped whenever any mapping changes.
+    pub fn generation(&self) -> u64 {
+        self.generation.get()
+    }
+
+    fn bump(&self) {
+        self.generation.set(self.generation.get() + 1);
+    }
+
+    /// Cumulative fault work since creation.
+    pub fn fault_stats(&self) -> FaultWork {
+        *self.stats.borrow()
+    }
+
+    /// Resets the cumulative fault counters.
+    pub fn reset_fault_stats(&self) {
+        *self.stats.borrow_mut() = FaultWork::default();
+    }
+
+    fn alloc_va(&self, len: usize) -> VirtAddr {
+        let pages = len.div_ceil(PAGE_SIZE).max(1) as u64;
+        let va = self.next_va.get();
+        // A guard page between mappings catches off-by-one overruns.
+        self.next_va.set(va + (pages + 1) * PAGE_SIZE as u64);
+        VirtAddr(va)
+    }
+
+    /// Maps `len` bytes of anonymous memory.
+    ///
+    /// `populate` eagerly backs every page (like `MAP_POPULATE`); otherwise
+    /// pages appear on first touch (demand-zero).
+    pub fn mmap(&self, len: usize, prot: Prot, populate: bool) -> Result<VirtAddr, MemError> {
+        if len == 0 {
+            return Err(MemError::BadRange);
+        }
+        let va = self.alloc_va(len);
+        let pages = len.div_ceil(PAGE_SIZE) as u64;
+        self.vmas.borrow_mut().insert(
+            va.0,
+            Vma {
+                end: va.0 + pages * PAGE_SIZE as u64,
+                prot,
+                shared: false,
+            },
+        );
+        if populate {
+            for p in 0..pages {
+                let frame = self.pm.alloc()?;
+                self.pt.borrow_mut().insert(
+                    va.vpn() + p,
+                    Pte {
+                        frame,
+                        writable: prot.write,
+                        cow: false,
+                    },
+                );
+            }
+        }
+        self.bump();
+        Ok(va)
+    }
+
+    /// Maps existing frames as a *shared* region (e.g. Binder's receive
+    /// window, Copier's descriptor shm). Increments each frame's refcount.
+    pub fn map_shared(&self, frames: &[FrameId], prot: Prot) -> Result<VirtAddr, MemError> {
+        if frames.is_empty() {
+            return Err(MemError::BadRange);
+        }
+        let va = self.alloc_va(frames.len() * PAGE_SIZE);
+        self.vmas.borrow_mut().insert(
+            va.0,
+            Vma {
+                end: va.0 + (frames.len() * PAGE_SIZE) as u64,
+                prot,
+                shared: true,
+            },
+        );
+        let mut pt = self.pt.borrow_mut();
+        for (i, &f) in frames.iter().enumerate() {
+            self.pm.incref(f);
+            pt.insert(
+                va.vpn() + i as u64,
+                Pte {
+                    frame: f,
+                    writable: prot.write,
+                    cow: false,
+                },
+            );
+        }
+        drop(pt);
+        self.bump();
+        Ok(va)
+    }
+
+    /// Unmaps `[va, va+len)`. Fails if any covered frame is pinned.
+    pub fn munmap(&self, va: VirtAddr, len: usize) -> Result<(), MemError> {
+        let pages = len.div_ceil(PAGE_SIZE) as u64;
+        // Refuse if pinned (the paper locks mappings for in-flight copies).
+        {
+            let pt = self.pt.borrow();
+            for p in 0..pages {
+                if let Some(pte) = pt.get(&(va.vpn() + p)) {
+                    if self.pm.is_pinned(pte.frame) {
+                        return Err(MemError::Pinned(VirtAddr(
+                            (va.vpn() + p) * PAGE_SIZE as u64,
+                        )));
+                    }
+                }
+            }
+        }
+        let mut pt = self.pt.borrow_mut();
+        for p in 0..pages {
+            if let Some(pte) = pt.remove(&(va.vpn() + p)) {
+                self.pm.decref(pte.frame);
+            }
+        }
+        drop(pt);
+        self.vmas.borrow_mut().remove(&va.0);
+        self.bump();
+        Ok(())
+    }
+
+    fn vma_for(&self, va: VirtAddr) -> Option<Vma> {
+        let vmas = self.vmas.borrow();
+        vmas.range(..=va.0)
+            .next_back()
+            .filter(|(_, v)| va.0 < v.end)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Raw page-table lookup (no faulting).
+    pub fn translate(&self, va: VirtAddr) -> Option<Pte> {
+        self.pt.borrow().get(&va.vpn()).copied()
+    }
+
+    /// Resolves one page for an access, faulting as needed.
+    ///
+    /// Returns the backing frame and the work done (for cost charging).
+    pub fn resolve(&self, va: VirtAddr, write: bool) -> Result<(FrameId, FaultWork), MemError> {
+        if va.0 >= KERNEL_BASE {
+            return Err(MemError::Segv(va));
+        }
+        let mut work = FaultWork {
+            walks: 1,
+            ..FaultWork::default()
+        };
+        let vma = self.vma_for(va).ok_or(MemError::Segv(va))?;
+        if write && !vma.prot.write || !write && !vma.prot.read {
+            return Err(MemError::Segv(va));
+        }
+        let vpn = va.vpn();
+        let existing = self.pt.borrow().get(&vpn).copied();
+        let frame = match existing {
+            None => {
+                // Demand-zero fault.
+                let frame = self.pm.alloc()?;
+                self.pt.borrow_mut().insert(
+                    vpn,
+                    Pte {
+                        frame,
+                        writable: vma.prot.write,
+                        cow: false,
+                    },
+                );
+                work.demand_zero += 1;
+                self.bump();
+                frame
+            }
+            Some(pte) if write && !pte.writable => {
+                if !pte.cow {
+                    return Err(MemError::Segv(va));
+                }
+                if self.pm.refcount(pte.frame) == 1 {
+                    // Sole owner: just restore write permission.
+                    self.pt.borrow_mut().insert(
+                        vpn,
+                        Pte {
+                            frame: pte.frame,
+                            writable: true,
+                            cow: false,
+                        },
+                    );
+                    work.cow_remap += 1;
+                    self.bump();
+                    pte.frame
+                } else {
+                    // Break CoW: allocate, copy, swing the PTE.
+                    let new = self.pm.alloc()?;
+                    work.bytes_copied += self.pm.copy_frame(new, pte.frame);
+                    self.pm.decref(pte.frame);
+                    self.pt.borrow_mut().insert(
+                        vpn,
+                        Pte {
+                            frame: new,
+                            writable: true,
+                            cow: false,
+                        },
+                    );
+                    work.cow_copy += 1;
+                    self.bump();
+                    new
+                }
+            }
+            Some(pte) => pte.frame,
+        };
+        self.stats.borrow_mut().add(work);
+        Ok((frame, work))
+    }
+
+    /// Resolves a whole range (Copier's proactive fault handling, §4.5.4),
+    /// pinning every page. Returns the pinned frames in order and the total
+    /// fault work. On error nothing stays pinned.
+    pub fn resolve_and_pin_range(
+        &self,
+        va: VirtAddr,
+        len: usize,
+        write: bool,
+    ) -> Result<(Vec<FrameId>, FaultWork), MemError> {
+        if len == 0 {
+            return Err(MemError::BadRange);
+        }
+        let first = va.vpn();
+        let last = VirtAddr(va.0 + (len - 1) as u64).vpn();
+        let mut frames = Vec::with_capacity((last - first + 1) as usize);
+        let mut work = FaultWork::default();
+        for p in first..=last {
+            match self.resolve(VirtAddr(p * PAGE_SIZE as u64), write) {
+                Ok((f, w)) => {
+                    self.pm.pin(f);
+                    frames.push(f);
+                    work.add(w);
+                }
+                Err(e) => {
+                    for f in frames {
+                        self.pm.unpin(f);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok((frames, work))
+    }
+
+    /// Unpins frames previously pinned by [`Self::resolve_and_pin_range`].
+    pub fn unpin_frames(&self, frames: &[FrameId]) {
+        for &f in frames {
+            self.pm.unpin(f);
+        }
+    }
+
+    /// The physically contiguous extents backing `[va, va+len)`.
+    ///
+    /// All pages must already be resolved (use
+    /// [`Self::resolve_and_pin_range`] first); this is a pure read of the
+    /// page table, as the dispatcher's subtask splitter requires.
+    pub fn extents(&self, va: VirtAddr, len: usize) -> Result<Vec<Extent>, MemError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let pt = self.pt.borrow();
+        let mut out: Vec<Extent> = Vec::new();
+        let mut remaining = len;
+        let mut cur = va;
+        while remaining > 0 {
+            let pte = pt.get(&cur.vpn()).ok_or(MemError::Segv(cur))?;
+            let off = cur.page_off();
+            let take = remaining.min(PAGE_SIZE - off);
+            match out.last_mut() {
+                Some(last)
+                    if off == 0
+                        && last.frame.0 as usize + (last.off + last.len).div_ceil(PAGE_SIZE)
+                            == pte.frame.0 as usize
+                        && (last.off + last.len) % PAGE_SIZE == 0 =>
+                {
+                    last.len += take;
+                }
+                _ => out.push(Extent {
+                    frame: pte.frame,
+                    off,
+                    len: take,
+                }),
+            }
+            remaining -= take;
+            cur = cur.add(take);
+        }
+        Ok(out)
+    }
+
+    /// Reads bytes at `va` (faulting pages in as needed).
+    pub fn read_bytes(&self, va: VirtAddr, buf: &mut [u8]) -> Result<FaultWork, MemError> {
+        let mut work = FaultWork::default();
+        let mut done = 0;
+        while done < buf.len() {
+            let cur = va.add(done);
+            let (frame, w) = self.resolve(cur, false)?;
+            work.add(w);
+            let off = cur.page_off();
+            let take = (buf.len() - done).min(PAGE_SIZE - off);
+            self.pm.read(frame, off, &mut buf[done..done + take]);
+            done += take;
+        }
+        Ok(work)
+    }
+
+    /// Writes bytes at `va` (faulting / breaking CoW as needed).
+    pub fn write_bytes(&self, va: VirtAddr, buf: &[u8]) -> Result<FaultWork, MemError> {
+        let mut work = FaultWork::default();
+        let mut done = 0;
+        while done < buf.len() {
+            let cur = va.add(done);
+            let (frame, w) = self.resolve(cur, true)?;
+            work.add(w);
+            let off = cur.page_off();
+            let take = (buf.len() - done).min(PAGE_SIZE - off);
+            self.pm.write(frame, off, &buf[done..done + take]);
+            done += take;
+        }
+        Ok(work)
+    }
+
+    /// Clones this space with CoW semantics (fork).
+    ///
+    /// Private pages in both parent and child become read-only CoW; shared
+    /// mappings stay shared and writable.
+    pub fn fork(&self, child_id: AsId) -> Result<Rc<AddressSpace>, MemError> {
+        let child = AddressSpace::new(child_id, Rc::clone(&self.pm));
+        *child.vmas.borrow_mut() = self.vmas.borrow().clone();
+        child.next_va.set(self.next_va.get());
+        let mut parent_pt = self.pt.borrow_mut();
+        let mut child_pt = child.pt.borrow_mut();
+        // Shared VMAs keep their PTEs; private ones flip to CoW.
+        let vmas = self.vmas.borrow();
+        for (&vpn, pte) in parent_pt.iter_mut() {
+            let va = VirtAddr(vpn * PAGE_SIZE as u64);
+            let shared = vmas
+                .range(..=va.0)
+                .next_back()
+                .map(|(_, v)| v.shared)
+                .unwrap_or(false);
+            self.pm.incref(pte.frame);
+            if shared {
+                child_pt.insert(vpn, *pte);
+            } else {
+                pte.writable = false;
+                pte.cow = true;
+                child_pt.insert(vpn, *pte);
+            }
+        }
+        drop(child_pt);
+        drop(parent_pt);
+        drop(vmas);
+        self.bump();
+        child.bump();
+        Ok(child)
+    }
+
+    /// Aliases `pages` pages from `src` at `src_va` into this space at a
+    /// fresh VA, CoW-protected on both sides. This is the remapping
+    /// primitive zIO and zero-copy rely on; both addresses must be
+    /// page-aligned (their documented limitation).
+    pub fn alias_from(
+        &self,
+        src: &AddressSpace,
+        src_va: VirtAddr,
+        pages: usize,
+    ) -> Result<VirtAddr, MemError> {
+        if !src_va.is_page_aligned() || pages == 0 {
+            return Err(MemError::BadRange);
+        }
+        let va = self.alloc_va(pages * PAGE_SIZE);
+        self.vmas.borrow_mut().insert(
+            va.0,
+            Vma {
+                end: va.0 + (pages * PAGE_SIZE) as u64,
+                prot: Prot::RW,
+                shared: false,
+            },
+        );
+        let mut src_pt = src.pt.borrow_mut();
+        let mut dst_pt = self.pt.borrow_mut();
+        for p in 0..pages as u64 {
+            let spte = src_pt
+                .get_mut(&(src_va.vpn() + p))
+                .ok_or(MemError::Segv(src_va))?;
+            self.pm.incref(spte.frame);
+            spte.writable = false;
+            spte.cow = true;
+            dst_pt.insert(
+                va.vpn() + p,
+                Pte {
+                    frame: spte.frame,
+                    writable: false,
+                    cow: true,
+                },
+            );
+        }
+        drop(dst_pt);
+        drop(src_pt);
+        self.bump();
+        src.bump();
+        Ok(va)
+    }
+
+    /// Remaps `pages` pages of this space at `dst_va` to alias `src`'s
+    /// pages at `src_va`, CoW-protected on both sides (zIO's in-place
+    /// copy elision). Both addresses must be page-aligned and `dst_va`
+    /// must lie inside an existing writable VMA. Old destination frames
+    /// are released; pinned destination frames refuse the remap.
+    pub fn alias_at(
+        &self,
+        dst_va: VirtAddr,
+        src: &AddressSpace,
+        src_va: VirtAddr,
+        pages: usize,
+    ) -> Result<(), MemError> {
+        if !dst_va.is_page_aligned() || !src_va.is_page_aligned() || pages == 0 {
+            return Err(MemError::BadRange);
+        }
+        let vma = self.vma_for(dst_va).ok_or(MemError::Segv(dst_va))?;
+        if !vma.prot.write || dst_va.0 + (pages * PAGE_SIZE) as u64 > vma.end {
+            return Err(MemError::Segv(dst_va));
+        }
+        // Refuse when an in-flight copy has the destination locked.
+        {
+            let pt = self.pt.borrow();
+            for p in 0..pages as u64 {
+                if let Some(pte) = pt.get(&(dst_va.vpn() + p)) {
+                    if self.pm.is_pinned(pte.frame) {
+                        return Err(MemError::Pinned(VirtAddr(
+                            (dst_va.vpn() + p) * PAGE_SIZE as u64,
+                        )));
+                    }
+                }
+            }
+        }
+        let same_space = std::ptr::eq(self, src);
+        if same_space {
+            let mut pt = self.pt.borrow_mut();
+            for p in 0..pages as u64 {
+                let spte = *pt
+                    .get(&(src_va.vpn() + p))
+                    .ok_or(MemError::Segv(src_va))?;
+                self.pm.incref(spte.frame);
+                pt.insert(
+                    src_va.vpn() + p,
+                    Pte {
+                        writable: false,
+                        cow: true,
+                        ..spte
+                    },
+                );
+                if let Some(old) = pt.insert(
+                    dst_va.vpn() + p,
+                    Pte {
+                        frame: spte.frame,
+                        writable: false,
+                        cow: true,
+                    },
+                ) {
+                    self.pm.decref(old.frame);
+                }
+            }
+        } else {
+            let mut dst_pt = self.pt.borrow_mut();
+            let mut src_pt = src.pt.borrow_mut();
+            for p in 0..pages as u64 {
+                let spte = src_pt
+                    .get_mut(&(src_va.vpn() + p))
+                    .ok_or(MemError::Segv(src_va))?;
+                self.pm.incref(spte.frame);
+                spte.writable = false;
+                spte.cow = true;
+                let new = Pte {
+                    frame: spte.frame,
+                    writable: false,
+                    cow: true,
+                };
+                if let Some(old) = dst_pt.insert(dst_va.vpn() + p, new) {
+                    self.pm.decref(old.frame);
+                }
+            }
+        }
+        if !same_space {
+            src.bump();
+        }
+        self.bump();
+        Ok(())
+    }
+
+    /// Replaces the PTE for `va`'s page (CoW handler integration: Copier
+    /// copies into a new frame first, then the handler swings the PTE).
+    pub fn set_pte(&self, va: VirtAddr, pte: Pte) {
+        let old = self.pt.borrow_mut().insert(va.vpn(), pte);
+        if let Some(o) = old {
+            if o.frame != pte.frame {
+                self.pm.decref(o.frame);
+            }
+        }
+        self.bump();
+    }
+
+    /// Total mapped pages (diagnostics).
+    pub fn mapped_pages(&self) -> usize {
+        self.pt.borrow().len()
+    }
+}
+
+impl Drop for AddressSpace {
+    fn drop(&mut self) {
+        // Release every mapped frame so pools can be reused across phases.
+        let pt = self.pt.borrow();
+        for pte in pt.values() {
+            self.pm.decref(pte.frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phys::AllocPolicy;
+
+    fn setup(frames: usize, policy: AllocPolicy) -> (Rc<PhysMem>, Rc<AddressSpace>) {
+        let pm = Rc::new(PhysMem::new(frames, policy));
+        let asp = AddressSpace::new(1, Rc::clone(&pm));
+        (pm, asp)
+    }
+
+    #[test]
+    fn demand_zero_faults_on_first_touch() {
+        let (_, asp) = setup(16, AllocPolicy::Sequential);
+        let va = asp.mmap(2 * PAGE_SIZE, Prot::RW, false).unwrap();
+        assert!(asp.translate(va).is_none());
+        let mut buf = [0u8; 4];
+        let w = asp.read_bytes(va, &mut buf).unwrap();
+        assert_eq!(w.demand_zero, 1);
+        assert_eq!(buf, [0; 4]);
+        assert!(asp.translate(va).is_some());
+    }
+
+    #[test]
+    fn populate_backs_eagerly() {
+        let (pm, asp) = setup(16, AllocPolicy::Sequential);
+        let va = asp.mmap(3 * PAGE_SIZE, Prot::RW, true).unwrap();
+        assert_eq!(pm.allocated(), 3);
+        let w = asp.write_bytes(va, &[1, 2, 3]).unwrap();
+        assert!(!w.faulted());
+    }
+
+    #[test]
+    fn write_roundtrip_across_pages() {
+        let (_, asp) = setup(16, AllocPolicy::Scattered);
+        let va = asp.mmap(3 * PAGE_SIZE, Prot::RW, false).unwrap();
+        let data: Vec<u8> = (0..2 * PAGE_SIZE + 100).map(|i| (i % 251) as u8).collect();
+        asp.write_bytes(va.add(50), &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        asp.read_bytes(va.add(50), &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn segv_outside_vma_and_on_protection() {
+        let (_, asp) = setup(16, AllocPolicy::Sequential);
+        let mut buf = [0u8; 1];
+        assert!(matches!(
+            asp.read_bytes(VirtAddr(0x500), &mut buf),
+            Err(MemError::Segv(_))
+        ));
+        let ro = asp.mmap(PAGE_SIZE, Prot::RO, true).unwrap();
+        assert!(matches!(
+            asp.write_bytes(ro, &[1]),
+            Err(MemError::Segv(_))
+        ));
+        assert!(matches!(
+            asp.read_bytes(VirtAddr(KERNEL_BASE + 8), &mut buf),
+            Err(MemError::Segv(_))
+        ));
+    }
+
+    #[test]
+    fn fork_cow_preserves_isolation() {
+        let (pm, parent) = setup(32, AllocPolicy::Sequential);
+        let va = parent.mmap(2 * PAGE_SIZE, Prot::RW, false).unwrap();
+        parent.write_bytes(va, b"parent data").unwrap();
+        let child = parent.fork(2).unwrap();
+
+        // Child sees parent's data without copying yet.
+        let mut buf = [0u8; 11];
+        child.read_bytes(va, &mut buf).unwrap();
+        assert_eq!(&buf, b"parent data");
+        let before = pm.allocated();
+
+        // Child write breaks CoW with a real copy.
+        let w = child.write_bytes(va, b"child!").unwrap();
+        assert_eq!(w.cow_copy, 1);
+        assert_eq!(w.bytes_copied, PAGE_SIZE);
+        assert_eq!(pm.allocated(), before + 1);
+
+        parent.read_bytes(va, &mut buf).unwrap();
+        assert_eq!(&buf, b"parent data");
+        child.read_bytes(va, &mut buf).unwrap();
+        assert_eq!(&buf[..6], b"child!");
+    }
+
+    #[test]
+    fn cow_sole_owner_remaps_without_copy() {
+        let (_, parent) = setup(32, AllocPolicy::Sequential);
+        let va = parent.mmap(PAGE_SIZE, Prot::RW, false).unwrap();
+        parent.write_bytes(va, b"x").unwrap();
+        let child = parent.fork(2).unwrap();
+        // Child writes (copies); then the parent is sole owner of its frame?
+        // No — child's write decrefs parent's frame to 1, so the parent's
+        // next write is a pure remap.
+        child.write_bytes(va, b"c").unwrap();
+        let w = parent.write_bytes(va, b"p").unwrap();
+        assert_eq!(w.cow_remap, 1);
+        assert_eq!(w.cow_copy, 0);
+    }
+
+    #[test]
+    fn extents_merge_contiguous_frames() {
+        let (_, asp) = setup(16, AllocPolicy::Sequential);
+        let va = asp.mmap(4 * PAGE_SIZE, Prot::RW, true).unwrap();
+        let ex = asp.extents(va.add(100), 2 * PAGE_SIZE).unwrap();
+        // Sequential policy → frames contiguous → single extent.
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].off, 100);
+        assert_eq!(ex[0].len, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn extents_split_on_fragmentation() {
+        let (_, asp) = setup(64, AllocPolicy::Scattered);
+        let va = asp.mmap(4 * PAGE_SIZE, Prot::RW, true).unwrap();
+        let ex = asp.extents(va, 4 * PAGE_SIZE).unwrap();
+        assert!(ex.len() > 1, "scattered frames should fragment extents");
+        let total: usize = ex.iter().map(|e| e.len).sum();
+        assert_eq!(total, 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn resolve_and_pin_blocks_munmap() {
+        let (_, asp) = setup(16, AllocPolicy::Sequential);
+        let va = asp.mmap(2 * PAGE_SIZE, Prot::RW, false).unwrap();
+        let (frames, work) = asp.resolve_and_pin_range(va, 2 * PAGE_SIZE, true).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(work.demand_zero, 2);
+        assert!(matches!(
+            asp.munmap(va, 2 * PAGE_SIZE),
+            Err(MemError::Pinned(_))
+        ));
+        asp.unpin_frames(&frames);
+        asp.munmap(va, 2 * PAGE_SIZE).unwrap();
+    }
+
+    #[test]
+    fn pin_failure_unwinds_partial_pins() {
+        let (pm, asp) = setup(16, AllocPolicy::Sequential);
+        let va = asp.mmap(PAGE_SIZE, Prot::RW, false).unwrap();
+        // Range extends past the VMA: second page SEGVs.
+        let err = asp.resolve_and_pin_range(va, 2 * PAGE_SIZE, true);
+        assert!(matches!(err, Err(MemError::Segv(_))));
+        // The first page's frame must not be left pinned.
+        let (frames, _) = asp.resolve_and_pin_range(va, PAGE_SIZE, true).unwrap();
+        assert_eq!(pm.refcount(frames[0]), 1);
+        asp.unpin_frames(&frames);
+        asp.munmap(va, PAGE_SIZE).unwrap();
+    }
+
+    #[test]
+    fn generation_bumps_on_mapping_changes() {
+        let (_, asp) = setup(16, AllocPolicy::Sequential);
+        let g0 = asp.generation();
+        let va = asp.mmap(PAGE_SIZE, Prot::RW, false).unwrap();
+        assert!(asp.generation() > g0);
+        let g1 = asp.generation();
+        asp.write_bytes(va, &[1]).unwrap(); // demand-zero fault remaps
+        assert!(asp.generation() > g1);
+        let g2 = asp.generation();
+        let mut buf = [0u8; 1];
+        asp.read_bytes(va, &mut buf).unwrap(); // plain hit: no bump
+        assert_eq!(asp.generation(), g2);
+    }
+
+    #[test]
+    fn shared_mapping_survives_fork_writable() {
+        let (pm, parent) = setup(16, AllocPolicy::Sequential);
+        let frames = vec![pm.alloc().unwrap()];
+        let va = parent.map_shared(&frames, Prot::RW).unwrap();
+        let child = parent.fork(2).unwrap();
+        child.write_bytes(va, b"shared!").unwrap();
+        let mut buf = [0u8; 7];
+        parent.read_bytes(va, &mut buf).unwrap();
+        assert_eq!(&buf, b"shared!");
+        pm.decref(frames[0]);
+    }
+
+    #[test]
+    fn alias_from_requires_alignment_and_cows_both_sides() {
+        let (_, a) = setup(32, AllocPolicy::Sequential);
+        let b = AddressSpace::new(2, Rc::clone(a.phys()));
+        let src = a.mmap(2 * PAGE_SIZE, Prot::RW, true).unwrap();
+        a.write_bytes(src, b"zio source").unwrap();
+
+        assert!(matches!(
+            b.alias_from(&a, src.add(1), 1),
+            Err(MemError::BadRange)
+        ));
+
+        let dst = b.alias_from(&a, src, 2).unwrap();
+        let mut buf = [0u8; 10];
+        b.read_bytes(dst, &mut buf).unwrap();
+        assert_eq!(&buf, b"zio source");
+
+        // Writer on either side triggers a CoW copy, isolating the two.
+        let w = a.write_bytes(src, b"SRC").unwrap();
+        assert_eq!(w.cow_copy, 1);
+        b.read_bytes(dst, &mut buf).unwrap();
+        assert_eq!(&buf, b"zio source");
+    }
+
+    #[test]
+    fn drop_releases_frames() {
+        let (pm, asp) = setup(16, AllocPolicy::Sequential);
+        let _va = asp.mmap(4 * PAGE_SIZE, Prot::RW, true).unwrap();
+        assert_eq!(pm.allocated(), 4);
+        drop(asp);
+        assert_eq!(pm.allocated(), 0);
+    }
+}
+
+#[cfg(test)]
+mod alias_at_tests {
+    use super::*;
+    use crate::phys::AllocPolicy;
+
+    #[test]
+    fn alias_at_same_space_elides_copy_until_write() {
+        let pm = Rc::new(PhysMem::new(32, AllocPolicy::Sequential));
+        let asp = AddressSpace::new(1, Rc::clone(&pm));
+        let src = asp.mmap(2 * PAGE_SIZE, Prot::RW, true).unwrap();
+        let dst = asp.mmap(2 * PAGE_SIZE, Prot::RW, true).unwrap();
+        asp.write_bytes(src, b"aliased payload").unwrap();
+        let before = pm.allocated();
+        asp.alias_at(dst, &asp, src, 2).unwrap();
+        // The old destination frames were released; no copy happened.
+        assert_eq!(pm.allocated(), before - 2);
+        let mut buf = [0u8; 15];
+        asp.read_bytes(dst, &mut buf).unwrap();
+        assert_eq!(&buf, b"aliased payload");
+        // A write on either side breaks CoW with a real copy.
+        let w = asp.write_bytes(dst, b"X").unwrap();
+        assert_eq!(w.cow_copy, 1);
+        asp.read_bytes(src, &mut buf).unwrap();
+        assert_eq!(&buf, b"aliased payload");
+    }
+
+    #[test]
+    fn alias_at_rejects_unaligned_and_pinned() {
+        let pm = Rc::new(PhysMem::new(32, AllocPolicy::Sequential));
+        let asp = AddressSpace::new(1, Rc::clone(&pm));
+        let src = asp.mmap(PAGE_SIZE, Prot::RW, true).unwrap();
+        let dst = asp.mmap(PAGE_SIZE, Prot::RW, true).unwrap();
+        assert!(matches!(
+            asp.alias_at(dst.add(1), &asp, src, 1),
+            Err(MemError::BadRange)
+        ));
+        let (frames, _) = asp.resolve_and_pin_range(dst, PAGE_SIZE, true).unwrap();
+        assert!(matches!(
+            asp.alias_at(dst, &asp, src, 1),
+            Err(MemError::Pinned(_))
+        ));
+        asp.unpin_frames(&frames);
+        asp.alias_at(dst, &asp, src, 1).unwrap();
+    }
+}

@@ -1,0 +1,129 @@
+//! # copier-model — executable model of the Appendix A refinement proof
+//!
+//! The paper proves (with a rely-guarantee simulation) that a program
+//! using `amemcpy` + `csync`, transformed per the §5.1 guidelines,
+//! *refines* the same program using `memcpy`: no new behaviors are
+//! introduced. This crate mechanizes the appendix's state machine —
+//! per-address **value lists** tagged with amemcpy identifiers, `csync`
+//! truncation to the latest value — and checks the consistency relation
+//! on randomized programs with proptest, under several service schedules.
+//!
+//! The model is deliberately tiny and separate from the real service: it
+//! validates the *semantics*, while `copier-core`'s tests validate the
+//! implementation.
+
+pub mod semantics;
+
+pub use semantics::{
+    run_async, run_sync, transform, transform_without_csync, AsyncState, Op, Outcome, Program,
+    Schedule, MEM,
+};
+
+#[cfg(test)]
+mod refinement {
+    use super::semantics::*;
+    use proptest::prelude::*;
+
+    fn arb_program() -> impl Strategy<Value = Program> {
+        let op = prop_oneof![
+            (0usize..MEM, 0usize..MEM, 1usize..8).prop_map(|(d, s, l)| {
+                let l = l.min(MEM - d).min(MEM - s).max(1);
+                Op::Copy {
+                    dst: d,
+                    src: s,
+                    len: l,
+                }
+            }),
+            (0usize..MEM, any::<u8>()).prop_map(|(a, v)| Op::Write { addr: a, val: v }),
+            (0usize..MEM).prop_map(|a| Op::Read { addr: a }),
+            (0usize..MEM, 1usize..6).prop_map(|(a, l)| Op::Free {
+                addr: a,
+                len: l.min(MEM - a).max(1),
+            }),
+        ];
+        prop::collection::vec(op, 1..24).prop_map(|ops| Program { ops })
+    }
+
+    proptest! {
+        /// The headline theorem: for any program, the async execution
+        /// (amemcpy + csync inserted per the guidelines) observes exactly
+        /// the reads of the sync execution and ends in the same state.
+        #[test]
+        fn async_with_csync_refines_sync(p in arb_program()) {
+            let sync = run_sync(&p);
+            for schedule in [Schedule::Eager, Schedule::Lazy, Schedule::Alternate] {
+                let a = run_async(&transform(&p), schedule);
+                prop_assert_eq!(&sync.observations, &a.observations, "{:?}", schedule);
+                prop_assert_eq!(&sync.memory, &a.memory, "{:?}", schedule);
+                prop_assert_eq!(&sync.freed, &a.freed, "{:?}", schedule);
+            }
+        }
+
+        /// Without the csync insertion the machine stays memory-safe (no
+        /// panics), though behaviors may diverge — the guidelines are
+        /// load-bearing for equivalence, not for safety.
+        #[test]
+        fn no_csync_still_memory_safe(p in arb_program()) {
+            let t = transform_without_csync(&p);
+            let _ = run_async(&t, Schedule::Lazy);
+            let _ = run_async(&t, Schedule::Eager);
+        }
+    }
+
+    /// Directed Fig. 8 scenario: copy, client write into the pending
+    /// destination, dependent copy — layered semantics must match sync.
+    #[test]
+    fn fig8_modified_intermediate() {
+        let p = Program {
+            ops: vec![
+                Op::Write { addr: 0, val: 10 },
+                Op::Write { addr: 1, val: 11 },
+                Op::Copy { dst: 4, src: 0, len: 2 }, // A→B
+                Op::Write { addr: 4, val: 99 },      // modify part of B
+                Op::Copy { dst: 8, src: 4, len: 2 }, // B→C
+                Op::Read { addr: 8 },
+                Op::Read { addr: 9 },
+            ],
+        };
+        let sync = run_sync(&p);
+        assert_eq!(sync.observations, vec![99, 11]);
+        for schedule in [Schedule::Eager, Schedule::Lazy, Schedule::Alternate] {
+            let a = run_async(&transform(&p), schedule);
+            assert_eq!(sync.observations, a.observations, "{schedule:?}");
+            assert_eq!(sync.memory, a.memory, "{schedule:?}");
+        }
+    }
+
+    /// A lazy schedule actually defers: before the final csync_all the
+    /// committed memory may lag, but observations never do.
+    #[test]
+    fn lazy_defers_until_sync() {
+        let p = Program {
+            ops: vec![
+                Op::Write { addr: 0, val: 7 },
+                Op::Copy { dst: 8, src: 0, len: 1 },
+                Op::Read { addr: 8 }, // transformed: csync before this read
+            ],
+        };
+        let t = transform(&p);
+        assert!(t.ops.iter().any(|o| matches!(o, Op::Csync { .. })));
+        let a = run_async(&t, Schedule::Lazy);
+        assert_eq!(a.observations, vec![7]);
+    }
+
+    /// The no-csync transformation demonstrably diverges on this program
+    /// under the lazy schedule (the read sees stale memory).
+    #[test]
+    fn missing_csync_diverges() {
+        let p = Program {
+            ops: vec![
+                Op::Write { addr: 0, val: 7 },
+                Op::Copy { dst: 8, src: 0, len: 1 },
+                Op::Read { addr: 8 },
+            ],
+        };
+        let sync = run_sync(&p);
+        let a = run_async(&transform_without_csync(&p), Schedule::Lazy);
+        assert_ne!(sync.observations, a.observations);
+    }
+}

@@ -1,0 +1,318 @@
+//! Operational semantics of the Appendix A state machine.
+//!
+//! Memory maps each address to a **value list**: pending `amemcpy`
+//! operations append `(value, id)` pairs; `csync` truncates a list to the
+//! latest value; ordinary reads/writes see only truncated values. The
+//! transformation from the sync program inserts `csync` exactly per the
+//! paper's five rules (§5.1 guidelines / Appendix A "program
+//! transformation"), and the async interpreter executes pending copies
+//! under different service schedules.
+
+/// Memory size of the model (small on purpose — proptest explores it).
+pub const MEM: usize = 16;
+
+/// A program statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `memcpy(dst, src, len)` in the sync program; `amemcpy` after
+    /// transformation.
+    Copy {
+        /// Destination address.
+        dst: usize,
+        /// Source address.
+        src: usize,
+        /// Length.
+        len: usize,
+    },
+    /// A direct store.
+    Write {
+        /// Address.
+        addr: usize,
+        /// Value.
+        val: u8,
+    },
+    /// A direct load whose value is *observable* (the refinement checks
+    /// observations are identical).
+    Read {
+        /// Address.
+        addr: usize,
+    },
+    /// Frees a range (models the post-copy handler's deallocation).
+    Free {
+        /// Address.
+        addr: usize,
+        /// Length.
+        len: usize,
+    },
+    /// Inserted by [`transform`]: make `[addr, addr+len)` consistent.
+    Csync {
+        /// Address.
+        addr: usize,
+        /// Length.
+        len: usize,
+    },
+}
+
+/// A straight-line program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Statements in order.
+    pub ops: Vec<Op>,
+}
+
+/// Execution result: final memory, observed reads, freed ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Final memory contents.
+    pub memory: Vec<u8>,
+    /// Values returned by `Read`s, in program order.
+    pub observations: Vec<u8>,
+    /// Ranges freed, in order.
+    pub freed: Vec<(usize, usize)>,
+}
+
+/// Reference (synchronous) interpreter.
+pub fn run_sync(p: &Program) -> Outcome {
+    let mut mem = vec![0u8; MEM];
+    let mut obs = Vec::new();
+    let mut freed = Vec::new();
+    for op in &p.ops {
+        match *op {
+            Op::Copy { dst, src, len } => {
+                let tmp: Vec<u8> = mem[src..src + len].to_vec();
+                mem[dst..dst + len].copy_from_slice(&tmp);
+            }
+            Op::Write { addr, val } => mem[addr] = val,
+            Op::Read { addr } => obs.push(mem[addr]),
+            Op::Free { addr, len } => freed.push((addr, len)),
+            Op::Csync { .. } => {}
+        }
+    }
+    Outcome {
+        memory: mem,
+        observations: obs,
+        freed,
+    }
+}
+
+/// Applies the Appendix A transformation: every `Copy` becomes async, and
+/// a `Csync` is inserted before (1) reads/writes of a pending destination
+/// and (2) writes to a pending source. (`Free` of a source is modeled by
+/// rule 2 as well — our handler equivalence.)
+pub fn transform(p: &Program) -> Program {
+    let mut out = Vec::new();
+    for (i, op) in p.ops.iter().enumerate() {
+        // Which earlier copies are still "pending" (no intervening csync
+        // inserted by us covers them)? Conservative: sync exactly the
+        // ranges the guideline names, right before the access.
+        match *op {
+            Op::Read { addr } => {
+                // Rule 3: reads of a pending destination sync first.
+                if touches_pending(&p.ops[..i], addr, 1, false) {
+                    out.push(Op::Csync { addr, len: 1 });
+                }
+            }
+            Op::Write { addr, .. } => {
+                // Rule 3 (dst) and rule 4 (writing a pending *source*
+                // forces the dependent copies: csync_all is the
+                // conservative form the guidelines allow).
+                if touches_pending(&p.ops[..i], addr, 1, true) {
+                    out.push(Op::Csync { addr: 0, len: MEM });
+                }
+            }
+            Op::Free { addr, len } => {
+                if touches_pending(&p.ops[..i], addr, len, true) {
+                    out.push(Op::Csync { addr: 0, len: MEM });
+                }
+            }
+            Op::Csync { .. } => {}
+            Op::Copy { dst, src, len } => {
+                // amemcpy itself reads src and writes dst asynchronously —
+                // it does not count as an access (Appendix A), but rule 2
+                // requires syncing a *source about to be overwritten* and
+                // rule 1 a *destination about to be re-copied-from* is
+                // handled by the service's own ordering; the model syncs
+                // overlapping pending ranges to keep the per-address value
+                // lists linear, mirroring the service's data-dependency
+                // order (§4.2.2).
+                if touches_pending(&p.ops[..i], dst, len, true)
+                    || touches_pending(&p.ops[..i], src, len, true)
+                {
+                    out.push(Op::Csync { addr: 0, len: MEM });
+                }
+            }
+        }
+        out.push(op.clone());
+    }
+    // Program end: csync_all (descriptors must not outlive the program).
+    out.push(Op::Csync { addr: 0, len: MEM });
+    Program { ops: out }
+}
+
+/// The broken transformation (no csync at all) — used to show the
+/// guidelines are load-bearing.
+pub fn transform_without_csync(p: &Program) -> Program {
+    let mut out = p.ops.clone();
+    out.push(Op::Csync { addr: 0, len: MEM });
+    Program { ops: out }
+}
+
+/// Whether `[addr, addr+len)` touches a pending copy's destination (or,
+/// when `include_src`, a pending copy's source).
+fn touches_pending(prefix: &[Op], addr: usize, len: usize, include_src: bool) -> bool {
+    // A copy is pending until a csync covering its destination appears.
+    let mut pending: Vec<(usize, usize, usize)> = Vec::new(); // (dst, len, src)
+    for op in prefix {
+        match *op {
+            Op::Copy { dst, len: l, src } => pending.push((dst, l, src)),
+            Op::Csync { addr: a, len: l } => {
+                pending.retain(|&(d, dl, _)| !(a <= d && d + dl <= a + l));
+            }
+            _ => {}
+        }
+    }
+    pending.iter().any(|&(d, l, s)| {
+        (d < addr + len && addr < d + l) || (include_src && s < addr + len && addr < s + l)
+    })
+}
+
+/// When the async service executes pending copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Copies execute immediately at submission.
+    Eager,
+    /// Copies execute only when a csync forces them.
+    Lazy,
+    /// Odd submissions eager, even lazy.
+    Alternate,
+}
+
+/// The async machine state: per-address value lists.
+pub struct AsyncState {
+    /// `mem[a]` = committed value.
+    mem: Vec<u8>,
+    /// Uncommitted writes: `(addr, value, amemcpy id)`.
+    list: Vec<(usize, u8, u64)>,
+    /// Pending copies not yet executed: `(dst, src, len, id)`.
+    queue: Vec<(usize, usize, usize, u64)>,
+    next_id: u64,
+}
+
+impl AsyncState {
+    fn latest(&self, addr: usize) -> u8 {
+        self.list
+            .iter()
+            .rev()
+            .find(|&&(a, _, _)| a == addr)
+            .map(|&(_, v, _)| v)
+            .unwrap_or(self.mem[addr])
+    }
+
+    /// Executes one queued amemcpy: reads see latest values, writes append
+    /// to the value lists (Appendix A "semantics modelling").
+    fn execute_one(&mut self, qi: usize) {
+        let (dst, src, len, id) = self.queue.remove(qi);
+        let vals: Vec<u8> = (0..len).map(|k| self.latest(src + k)).collect();
+        for (k, v) in vals.into_iter().enumerate() {
+            self.list.push((dst + k, v, id));
+        }
+    }
+
+    /// csync: executes every queued copy overlapping the range (in order),
+    /// then truncates the value lists in the range to their latest value.
+    fn csync(&mut self, addr: usize, len: usize) {
+        loop {
+            let qi = self.queue.iter().position(|&(d, s, l, _)| {
+                (d < addr + len && addr < d + l) || (s < addr + len && addr < s + l)
+            });
+            match qi {
+                // Data dependency: earlier overlapping copies first (the
+                // service's promotion closure).
+                Some(i) => {
+                    // Also force everything this one depends on.
+                    self.force_deps(i);
+                }
+                None => break,
+            }
+        }
+        // Truncate.
+        let mut latest: Vec<Option<u8>> = vec![None; MEM];
+        for &(a, v, _) in &self.list {
+            if a >= addr && a < addr + len {
+                latest[a] = Some(v);
+            }
+        }
+        self.list.retain(|&(a, _, _)| !(a >= addr && a < addr + len));
+        for (a, v) in latest.into_iter().enumerate() {
+            if let Some(v) = v {
+                self.mem[a] = v;
+            }
+        }
+    }
+
+    fn force_deps(&mut self, qi: usize) {
+        // Execute queued copies before `qi` whose dst overlaps qi's src
+        // (RAW) or dst (WAW), recursively — then qi itself.
+        let (dst, src, len, _) = self.queue[qi];
+        loop {
+            let dep = self.queue[..qi].iter().position(|&(d, _, l, _)| {
+                (d < src + len && src < d + l) || (d < dst + len && dst < d + l)
+            });
+            match dep {
+                Some(i) => {
+                    self.force_deps(i);
+                    // Indices shifted: recompute qi's position.
+                    return self.force_deps(
+                        self.queue
+                            .iter()
+                            .position(|&(d, s, l, _)| (d, s, l) == (dst, src, len))
+                            .expect("still queued"),
+                    );
+                }
+                None => break,
+            }
+        }
+        self.execute_one(qi);
+    }
+}
+
+/// Runs a transformed program under a service schedule.
+pub fn run_async(p: &Program, schedule: Schedule) -> Outcome {
+    let mut st = AsyncState {
+        mem: vec![0u8; MEM],
+        list: Vec::new(),
+        queue: Vec::new(),
+        next_id: 1,
+    };
+    let mut obs = Vec::new();
+    let mut freed = Vec::new();
+    for op in &p.ops {
+        match *op {
+            Op::Copy { dst, src, len } => {
+                let id = st.next_id;
+                st.next_id += 1;
+                st.queue.push((dst, src, len, id));
+                let eager = match schedule {
+                    Schedule::Eager => true,
+                    Schedule::Lazy => false,
+                    Schedule::Alternate => id % 2 == 1,
+                };
+                if eager {
+                    let qi = st.queue.len() - 1;
+                    st.force_deps(qi);
+                }
+            }
+            Op::Write { addr, val } => {
+                st.mem[addr] = val;
+            }
+            Op::Read { addr } => obs.push(st.mem[addr]),
+            Op::Free { addr, len } => freed.push((addr, len)),
+            Op::Csync { addr, len } => st.csync(addr, len),
+        }
+    }
+    Outcome {
+        memory: st.mem,
+        observations: obs,
+        freed,
+    }
+}

@@ -1,0 +1,19 @@
+//! # copier-os — the simulated OS layer (Copier-Linux substrate)
+//!
+//! The kernel services whose copies Copier optimizes (§5.2): processes and
+//! syscall traps, the network stack (`send`/`recv` with sk_buffs, checksum
+//! offload, and a loopback NIC), Binder IPC with Parcel, fork/CoW fault
+//! handling, and an io_uring-style asynchronous-syscall ring used as a
+//! baseline in Fig. 10.
+
+pub mod binder;
+pub mod cow;
+pub mod net;
+pub mod process;
+pub mod uring;
+
+pub use binder::{BinderChannel, BinderMessage, Parcel, BINDER_DRIVER_WORK};
+pub use cow::{handle_cow_fault, CowOutcome};
+pub use net::{IoMode, NetStack, SendHandle, Skb, Socket, ZcCompletion, NET_PROC, WIRE_DELAY};
+pub use process::{Os, Process, KERNEL_AS};
+pub use uring::{Cqe, Sqe, Uring, RING_OP};

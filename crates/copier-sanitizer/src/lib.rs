@@ -1,0 +1,229 @@
+//! # copier-sanitizer — CopierSanitizer (§5.1.2)
+//!
+//! A shadow-memory misuse detector for the async-copy API, modeled on
+//! AddressSanitizer's poisoning: `amemcpy` *poisons* both the source and
+//! destination ranges; `csync` *unpoisons* the synced range; any tracked
+//! access (read, write, free) to a poisoned byte is reported as a bug —
+//! an omitted or misplaced csync.
+//!
+//! The real tool instruments compiled code; here applications (and the
+//! integration tests) call the check hooks explicitly, which is what the
+//! instrumentation would have emitted.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// A reported misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// What the program did.
+    pub kind: AccessKind,
+    /// Offending address.
+    pub addr: u64,
+    /// Length of the access.
+    pub len: usize,
+    /// Which amemcpy poisoned it (submission index).
+    pub copy_id: u64,
+    /// Caller-provided context label.
+    pub context: String,
+}
+
+/// The access that tripped the check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read of an un-synced destination (or source being overwritten).
+    Read,
+    /// Write to an un-synced range.
+    Write,
+    /// Free of a buffer with a pending copy.
+    Free,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Poison {
+    end: u64,
+    copy_id: u64,
+    /// Sources are poisoned against *writes* only (reading a source
+    /// while a copy is in flight is fine).
+    write_only: bool,
+}
+
+/// The sanitizer state for one process.
+#[derive(Default)]
+pub struct Sanitizer {
+    /// start → poison; disjoint ranges.
+    shadow: RefCell<BTreeMap<u64, Poison>>,
+    reports: RefCell<Vec<Report>>,
+    next_id: std::cell::Cell<u64>,
+}
+
+impl Sanitizer {
+    /// Creates an empty sanitizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hook: an `amemcpy(dst, src, len)` was submitted. Returns its id.
+    pub fn on_amemcpy(&self, dst: u64, src: u64, len: usize) -> u64 {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        let mut sh = self.shadow.borrow_mut();
+        sh.insert(
+            dst,
+            Poison {
+                end: dst + len as u64,
+                copy_id: id,
+                write_only: false,
+            },
+        );
+        sh.insert(
+            src,
+            Poison {
+                end: src + len as u64,
+                copy_id: id,
+                write_only: true,
+            },
+        );
+        id
+    }
+
+    /// Hook: `csync(addr, len)` completed — unpoison the range and the
+    /// matching sources.
+    pub fn on_csync(&self, addr: u64, len: usize) {
+        let mut sh = self.shadow.borrow_mut();
+        // Collect ids of dst poisons fully covered by this sync.
+        let ids: Vec<u64> = sh
+            .iter()
+            .filter(|(&s, p)| !p.write_only && addr <= s && p.end <= addr + len as u64)
+            .map(|(_, p)| p.copy_id)
+            .collect();
+        sh.retain(|&s, p| {
+            let dst_covered = !p.write_only && addr <= s && p.end <= addr + len as u64;
+            let src_of_synced = p.write_only && ids.contains(&p.copy_id);
+            !(dst_covered || src_of_synced)
+        });
+    }
+
+    /// Hook: `csync_all()` — clears every poison.
+    pub fn on_csync_all(&self) {
+        self.shadow.borrow_mut().clear();
+    }
+
+    fn check(&self, kind: AccessKind, addr: u64, len: usize, write: bool, context: &str) {
+        let sh = self.shadow.borrow();
+        for (&s, p) in sh.range(..addr + len as u64) {
+            if p.end > addr && s < addr + len as u64 {
+                if p.write_only && !write {
+                    continue; // reading a pending source is allowed
+                }
+                self.reports.borrow_mut().push(Report {
+                    kind,
+                    addr,
+                    len,
+                    copy_id: p.copy_id,
+                    context: context.to_string(),
+                });
+                return;
+            }
+        }
+    }
+
+    /// Hook: the program reads `[addr, addr+len)`.
+    pub fn on_read(&self, addr: u64, len: usize, context: &str) {
+        self.check(AccessKind::Read, addr, len, false, context);
+    }
+
+    /// Hook: the program writes `[addr, addr+len)`.
+    pub fn on_write(&self, addr: u64, len: usize, context: &str) {
+        self.check(AccessKind::Write, addr, len, true, context);
+    }
+
+    /// Hook: the program frees `[addr, addr+len)`.
+    pub fn on_free(&self, addr: u64, len: usize, context: &str) {
+        self.check(AccessKind::Free, addr, len, true, context);
+    }
+
+    /// All reports so far.
+    pub fn reports(&self) -> Vec<Report> {
+        self.reports.borrow().clone()
+    }
+
+    /// True when no misuse was detected.
+    pub fn clean(&self) -> bool {
+        self.reports.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_before_csync_is_reported() {
+        let s = Sanitizer::new();
+        s.on_amemcpy(0x1000, 0x2000, 64);
+        s.on_read(0x1010, 8, "parse header");
+        let r = s.reports();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].kind, AccessKind::Read);
+        assert_eq!(r[0].context, "parse header");
+    }
+
+    #[test]
+    fn read_after_csync_is_clean() {
+        let s = Sanitizer::new();
+        s.on_amemcpy(0x1000, 0x2000, 64);
+        s.on_csync(0x1000, 64);
+        s.on_read(0x1010, 8, "parse");
+        assert!(s.clean());
+    }
+
+    #[test]
+    fn partial_csync_leaves_rest_poisoned() {
+        let s = Sanitizer::new();
+        s.on_amemcpy(0x1000, 0x2000, 64);
+        s.on_csync(0x1000, 16); // only a prefix — dst poison not covered
+        s.on_read(0x1030, 4, "tail");
+        assert_eq!(s.reports().len(), 1);
+    }
+
+    #[test]
+    fn source_reads_allowed_writes_reported() {
+        let s = Sanitizer::new();
+        s.on_amemcpy(0x1000, 0x2000, 64);
+        s.on_read(0x2000, 8, "src read"); // fine
+        assert!(s.clean());
+        s.on_write(0x2000, 8, "src overwrite"); // guideline 1 violation
+        assert_eq!(s.reports().len(), 1);
+    }
+
+    #[test]
+    fn free_of_pending_source_is_reported() {
+        let s = Sanitizer::new();
+        s.on_amemcpy(0x1000, 0x2000, 64);
+        s.on_free(0x2000, 64, "free(src) without handler");
+        let r = s.reports();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].kind, AccessKind::Free);
+    }
+
+    #[test]
+    fn csync_all_clears_everything() {
+        let s = Sanitizer::new();
+        s.on_amemcpy(0x1000, 0x2000, 64);
+        s.on_amemcpy(0x3000, 0x4000, 32);
+        s.on_csync_all();
+        s.on_write(0x2000, 8, "w");
+        s.on_read(0x3000, 8, "r");
+        assert!(s.clean());
+    }
+
+    #[test]
+    fn syncing_the_dst_releases_its_source() {
+        let s = Sanitizer::new();
+        s.on_amemcpy(0x1000, 0x2000, 64);
+        s.on_csync(0x1000, 64);
+        s.on_write(0x2000, 8, "reuse src after sync");
+        assert!(s.clean());
+    }
+}

@@ -1,0 +1,324 @@
+//! Simulated multi-core machine.
+//!
+//! Each [`Core`] is a processor-sharing resource in virtual time: simulated
+//! threads consume CPU with [`Core::advance`], and concurrent demands on the
+//! same core are interleaved round-robin with a configurable quantum. A core
+//! also carries a tiny cache-residency model (see [`crate::cache`]) used by
+//! the §6.3.5 micro-architectural experiment, and per-core busy-time
+//! accounting used by the energy proxy (Fig. 13-c).
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::task::Waker;
+
+use crate::cache::CacheModel;
+use crate::exec::SimHandle;
+use crate::sync::Notify;
+use crate::time::Nanos;
+
+/// Default round-robin quantum for contended cores.
+pub const DEFAULT_QUANTUM: Nanos = Nanos::from_micros(20);
+
+struct Req {
+    remaining: Cell<u64>,
+    done: Cell<bool>,
+    waker: RefCell<Option<Waker>>,
+}
+
+/// One simulated CPU core.
+pub struct Core {
+    id: usize,
+    h: SimHandle,
+    queue: RefCell<VecDeque<Rc<Req>>>,
+    work: Notify,
+    quantum: Cell<Nanos>,
+    busy: Cell<u64>,
+    /// Cache-residency model for the micro-architectural proxy experiment.
+    pub cache: CacheModel,
+}
+
+impl Core {
+    /// The core's index within its machine.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Total virtual time this core has spent executing.
+    pub fn busy_time(&self) -> Nanos {
+        Nanos(self.busy.get())
+    }
+
+    /// Overrides the round-robin quantum (contended advances only).
+    pub fn set_quantum(&self, q: Nanos) {
+        self.quantum.set(q);
+    }
+
+    /// Number of threads currently queued or running on this core.
+    pub fn load(&self) -> usize {
+        self.queue.borrow().len()
+    }
+
+    /// Consumes `dur` of this core's time, waiting in line if contended.
+    ///
+    /// This is the only way simulated computation costs time: a thread that
+    /// never calls `advance` is free (it models pure waiting).
+    pub async fn advance(self: &Rc<Self>, dur: Nanos) {
+        if dur == Nanos::ZERO {
+            return;
+        }
+        let req = Rc::new(Req {
+            remaining: Cell::new(dur.as_nanos()),
+            done: Cell::new(false),
+            waker: RefCell::new(None),
+        });
+        self.queue.borrow_mut().push_back(Rc::clone(&req));
+        self.work.notify_one();
+        ReqDone { req }.await;
+    }
+
+    /// Consumes core time inflated by the cache model and updates residency.
+    ///
+    /// Used by applications to represent "copy-irrelevant" compute whose CPI
+    /// suffers when large copies evict hot data (§6.3.5 of the paper).
+    pub async fn advance_cached(self: &Rc<Self>, dur: Nanos) {
+        let inflated = self.cache.compute_cost(dur);
+        self.advance(inflated).await;
+    }
+
+    /// The driver loop: serves queued demands round-robin.
+    async fn drive(self: Rc<Self>) {
+        loop {
+            let next = self.queue.borrow_mut().pop_front();
+            let req = match next {
+                Some(r) => r,
+                None => {
+                    self.work.notified().await;
+                    continue;
+                }
+            };
+            let remaining = req.remaining.get();
+            let slice = remaining.min(self.quantum.get().as_nanos().max(1));
+            self.h.sleep(Nanos(slice)).await;
+            self.busy.set(self.busy.get() + slice);
+            let left = remaining - slice;
+            req.remaining.set(left);
+            if left == 0 {
+                req.done.set(true);
+                if let Some(w) = req.waker.borrow_mut().take() {
+                    w.wake();
+                }
+            } else {
+                self.queue.borrow_mut().push_back(req);
+            }
+        }
+    }
+}
+
+struct ReqDone {
+    req: Rc<Req>,
+}
+
+impl std::future::Future for ReqDone {
+    type Output = ();
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<()> {
+        if self.req.done.get() {
+            std::task::Poll::Ready(())
+        } else {
+            *self.req.waker.borrow_mut() = Some(cx.waker().clone());
+            std::task::Poll::Pending
+        }
+    }
+}
+
+/// Energy-accounting parameters for the smartphone experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    /// Watts drawn by a core while executing.
+    pub active_w: f64,
+    /// Watts drawn by an idle (clock-gated) core.
+    pub idle_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // Loosely a big core on a Kirin 9000S-class SoC.
+        PowerModel {
+            active_w: 1.8,
+            idle_w: 0.05,
+        }
+    }
+}
+
+/// A simulated machine: a set of cores sharing one virtual clock.
+pub struct Machine {
+    h: SimHandle,
+    cores: Vec<Rc<Core>>,
+}
+
+impl Machine {
+    /// Builds a machine with `n` cores and spawns their driver tasks.
+    pub fn new(h: &SimHandle, n: usize) -> Rc<Self> {
+        assert!(n > 0, "a machine needs at least one core");
+        let mut cores = Vec::with_capacity(n);
+        for id in 0..n {
+            let core = Rc::new(Core {
+                id,
+                h: h.clone(),
+                queue: RefCell::new(VecDeque::new()),
+                work: Notify::new(),
+                quantum: Cell::new(DEFAULT_QUANTUM),
+                busy: Cell::new(0),
+                cache: CacheModel::default_enabled(false),
+            });
+            h.spawn(&format!("core-{id}"), Rc::clone(&core).drive());
+            cores.push(core);
+        }
+        Rc::new(Machine {
+            h: h.clone(),
+            cores,
+        })
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Returns core `id`.
+    pub fn core(&self, id: usize) -> Rc<Core> {
+        Rc::clone(&self.cores[id])
+    }
+
+    /// All cores.
+    pub fn cores(&self) -> &[Rc<Core>] {
+        &self.cores
+    }
+
+    /// The simulation handle this machine runs on.
+    pub fn handle(&self) -> SimHandle {
+        self.h.clone()
+    }
+
+    /// Total busy time across all cores.
+    pub fn total_busy(&self) -> Nanos {
+        Nanos(self.cores.iter().map(|c| c.busy.get()).sum())
+    }
+
+    /// Energy in joules consumed up to `now`, under `pm`.
+    ///
+    /// Idle time is `num_cores × now − total_busy`.
+    pub fn energy_joules(&self, pm: PowerModel, now: Nanos) -> f64 {
+        let busy_s = self.total_busy().as_secs_f64();
+        let wall_s = now.as_secs_f64() * self.cores.len() as f64;
+        let idle_s = (wall_s - busy_s).max(0.0);
+        busy_s * pm.active_w + idle_s * pm.idle_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Sim;
+    use std::cell::Cell;
+
+    #[test]
+    fn advance_costs_exact_time_uncontended() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let m = Machine::new(&h, 1);
+        let core = m.core(0);
+        let t = Rc::new(Cell::new(Nanos::ZERO));
+        let t2 = Rc::clone(&t);
+        let h2 = h.clone();
+        sim.spawn("w", async move {
+            core.advance(Nanos::from_micros(123)).await;
+            t2.set(h2.now());
+        });
+        sim.run();
+        assert_eq!(t.get(), Nanos::from_micros(123));
+        assert_eq!(m.core(0).busy_time(), Nanos::from_micros(123));
+    }
+
+    #[test]
+    fn two_threads_share_a_core() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let m = Machine::new(&h, 1);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for name in ["a", "b"] {
+            let core = m.core(0);
+            let h2 = h.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(name, async move {
+                core.advance(Nanos::from_micros(100)).await;
+                done.borrow_mut().push((name, h2.now()));
+            });
+        }
+        sim.run();
+        let done = done.borrow();
+        // Round-robin: both finish near 200us (within one quantum of each other),
+        // not one at 100us and one at 200us.
+        assert_eq!(done.len(), 2);
+        let t_last = done.iter().map(|(_, t)| *t).max().unwrap();
+        let t_first = done.iter().map(|(_, t)| *t).min().unwrap();
+        assert_eq!(t_last, Nanos::from_micros(200));
+        assert!(t_last - t_first <= DEFAULT_QUANTUM);
+    }
+
+    #[test]
+    fn threads_on_distinct_cores_run_in_parallel() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let m = Machine::new(&h, 2);
+        let end = Rc::new(Cell::new(Nanos::ZERO));
+        for id in 0..2 {
+            let core = m.core(id);
+            let h2 = h.clone();
+            let end2 = Rc::clone(&end);
+            sim.spawn("w", async move {
+                core.advance(Nanos::from_micros(50)).await;
+                end2.set(end2.get().max(h2.now()));
+            });
+        }
+        sim.run();
+        // Parallel, so 50us total, not 100us.
+        assert_eq!(end.get(), Nanos::from_micros(50));
+        assert_eq!(m.total_busy(), Nanos::from_micros(100));
+    }
+
+    #[test]
+    fn energy_accounts_busy_and_idle() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let m = Machine::new(&h, 2);
+        let core = m.core(0);
+        sim.spawn("w", async move {
+            core.advance(Nanos::from_secs(1)).await;
+        });
+        let now = sim.run();
+        assert_eq!(now, Nanos::from_secs(1));
+        let pm = PowerModel {
+            active_w: 2.0,
+            idle_w: 0.5,
+        };
+        // 1s busy * 2W + 1s idle * 0.5W.
+        let e = m.energy_joules(pm, now);
+        assert!((e - 2.5).abs() < 1e-9, "e = {e}");
+    }
+
+    #[test]
+    fn zero_advance_is_free() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let m = Machine::new(&h, 1);
+        let core = m.core(0);
+        sim.spawn("w", async move {
+            core.advance(Nanos::ZERO).await;
+        });
+        assert_eq!(sim.run(), Nanos::ZERO);
+    }
+}

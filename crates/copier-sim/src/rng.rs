@@ -1,0 +1,195 @@
+//! Small deterministic PRNG for workload generation.
+//!
+//! The simulator must be reproducible from a seed, so all stochastic
+//! workload choices go through this xoshiro256**-based generator rather
+//! than any global RNG.
+
+use std::cell::Cell;
+
+/// A seeded xoshiro256** generator.
+///
+/// Interior mutability lets workloads share one generator through `Rc`
+/// without threading `&mut` everywhere; the simulator is single-threaded.
+pub struct SimRng {
+    s: Cell<[u64; 4]>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s: Cell::new(s) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&self) -> u64 {
+        let mut s = self.s.get();
+        let result = s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s.set(s);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn gen_range(&self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be nonzero");
+        // Lemire's multiply-shift rejection method.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let l = m as u64;
+            if l >= bound || l >= (u64::MAX - bound + 1) % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn range_usize(&self, lo: usize, hi: usize) -> usize {
+        assert!(hi > lo);
+        lo + self.gen_range((hi - lo) as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn gen_f64(&self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn gen_bool(&self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fills a byte slice with pseudo-random data.
+    pub fn fill_bytes(&self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&b[..rem.len()]);
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&self, v: &mut [T]) {
+        for i in (1..v.len()).rev() {
+            let j = self.gen_range((i + 1) as u64) as usize;
+            v.swap(i, j);
+        }
+    }
+
+    /// Samples from the size CDF of the paper's quoted request traces:
+    /// 95.1% of Twitter memcached requests are ≤ 10 KB (§2.2).
+    ///
+    /// Small requests are drawn log-uniform in [64 B, 10 KB]; the 4.9% tail
+    /// is log-uniform in (10 KB, 256 KB].
+    pub fn trace_request_size(&self) -> usize {
+        let (lo, hi) = if self.gen_bool(0.951) {
+            (64f64, 10.0 * 1024.0)
+        } else {
+            (10.0 * 1024.0, 256.0 * 1024.0)
+        };
+        let x = lo * (hi / lo).powf(self.gen_f64());
+        x as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = SimRng::new(7);
+        let b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SimRng::new(1);
+        let b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn gen_range_in_bounds_and_covers() {
+        let r = SimRng::new(42);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = r.gen_range(10) as usize;
+            assert!(x < 10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let r = SimRng::new(3);
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let r = SimRng::new(9);
+        let mut buf = [0u8; 23];
+        r.fill_bytes(&mut buf);
+        // 23 zero bytes after filling would be astronomically unlikely.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn trace_sizes_match_quoted_percentile() {
+        let r = SimRng::new(123);
+        let n = 20_000;
+        let small = (0..n)
+            .filter(|_| r.trace_request_size() <= 10 * 1024)
+            .count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.951).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let r = SimRng::new(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, sorted);
+    }
+}

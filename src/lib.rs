@@ -1,0 +1,34 @@
+//! # Copier — coordinated asynchronous memory copy as a first-class OS service
+//!
+//! A from-scratch Rust reproduction of *"How to Copy Memory? Coordinated
+//! Asynchronous Copy as a First-Class OS Service"* (SOSP 2025), built over
+//! a deterministic virtual-time simulator (see `DESIGN.md`).
+//!
+//! This facade re-exports the whole stack:
+//!
+//! * [`sim`] — deterministic discrete-event simulator (cores, time, energy);
+//! * [`mem`] — simulated memory subsystem (frames, page tables, CoW);
+//! * [`hw`] — copy units, DMA engine, piggyback dispatcher, ATCache;
+//! * [`core`] — the Copier service: CSH queues, descriptors, dependency
+//!   tracking, absorption, scheduler, cgroups, fault handling;
+//! * [`client`] — libCopier (`amemcpy`/`csync` and the low-level APIs);
+//! * [`os`] — simulated OS: netstack, Binder, CoW handler, io_uring;
+//! * [`baselines`] — zIO and friends;
+//! * [`apps`] — the evaluation applications (mini-Redis, proxy, …);
+//! * [`sanitizer`] — CopierSanitizer (shadow-memory misuse detection);
+//! * [`gen`] — CopierGen (automatic csync insertion over a mini-IR);
+//! * [`model`] — executable formal model of the Appendix A refinement.
+//!
+//! Start with `examples/quickstart.rs`.
+
+pub use copier_apps as apps;
+pub use copier_baselines as baselines;
+pub use copier_client as client;
+pub use copier_core as core;
+pub use copier_gen as gen;
+pub use copier_hw as hw;
+pub use copier_mem as mem;
+pub use copier_model as model;
+pub use copier_os as os;
+pub use copier_sanitizer as sanitizer;
+pub use copier_sim as sim;

@@ -1,0 +1,62 @@
+//! CopierSanitizer wired against the real service: the instrumented app
+//! pattern (§5.1.2) — every amemcpy poisons, every csync unpoisons, and
+//! the omitted-csync bug the tool exists to find is actually found.
+
+use std::rc::Rc;
+
+use copier::client::CopierHandle;
+use copier::core::{Copier, CopierConfig};
+use copier::hw::CostModel;
+use copier::mem::{AddressSpace, AllocPolicy, PhysMem, Prot};
+use copier::sanitizer::{AccessKind, Sanitizer};
+use copier::sim::{Machine, Sim};
+
+#[test]
+fn sanitizer_catches_omitted_csync_in_a_real_run() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 2);
+    let pm = Rc::new(PhysMem::new(1024, AllocPolicy::Scattered));
+    let svc = Copier::new(
+        &h,
+        Rc::clone(&pm),
+        vec![machine.core(1)],
+        Rc::new(CostModel::default()),
+        CopierConfig::default(),
+    );
+    svc.start();
+    let space = AddressSpace::new(1, Rc::clone(&pm));
+    let lib = CopierHandle::new(&svc, Rc::clone(&space));
+    let core = machine.core(0);
+    let san = Rc::new(Sanitizer::new());
+    let san2 = Rc::clone(&san);
+    let svc2 = Rc::clone(&svc);
+    sim.spawn("app", async move {
+        let src = space.mmap(8192, Prot::RW, true).unwrap();
+        let dst = space.mmap(8192, Prot::RW, true).unwrap();
+        space.write_bytes(src, &[1u8; 4096]).unwrap();
+
+        // Correctly synced access: clean.
+        lib.amemcpy(&core, dst, src, 4096).await;
+        san2.on_amemcpy(dst.0, src.0, 4096);
+        lib.csync(&core, dst, 4096).await.unwrap();
+        san2.on_csync(dst.0, 4096);
+        san2.on_read(dst.0, 64, "synced read");
+        assert!(san2.clean());
+
+        // The bug: read the destination without csync.
+        lib.amemcpy(&core, dst, src, 4096).await;
+        san2.on_amemcpy(dst.0, src.0, 4096);
+        san2.on_read(dst.0 + 100, 8, "parse before csync");
+        assert!(!san2.clean(), "omitted csync must be reported");
+        let r = &san2.reports()[0];
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(r.context, "parse before csync");
+
+        lib.csync_all(&core).await.unwrap();
+        san2.on_csync_all();
+        svc2.stop();
+    });
+    sim.run();
+    assert_eq!(san.reports().len(), 1);
+}
