@@ -1,67 +1,71 @@
-//! Criterion micro-benchmarks of the real (host-executed) data
-//! structures: the lock-free CSH ring, segment descriptors, interval
-//! sets, and the ChaCha20 / LZ77 codecs. These measure actual wall-clock
-//! cost on the build machine — the only host-time measurements in the
-//! suite (everything else is virtual time).
+//! Micro-benchmarks of the real (host-executed) data structures: the
+//! lock-free CSH ring, segment descriptors, interval sets, and the
+//! ChaCha20 / LZ77 codecs. These measure actual wall-clock cost on the
+//! build machine — the only host-time measurements in the suite
+//! (everything else is virtual time).
+//!
+//! Runs on the in-tree `copier-testkit` bench harness (no criterion):
+//! per-iteration nanosecond samples feed `copier_bench::stats` so the
+//! output matches the fig* harness format.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use copier_bench::{row, section, stats};
+use copier_sim::Nanos;
+use copier_testkit::{black_box, Bench, BenchResult};
 
 use copier::core::{IntervalSet, Ring, SegDescriptor};
 
-fn ring(c: &mut Criterion) {
-    let r: Ring<u64> = Ring::new(1024);
-    c.bench_function("ring_push_pop", |b| {
-        b.iter(|| {
-            r.push(black_box(42)).unwrap();
-            black_box(r.pop());
-        })
-    });
+fn report(r: &BenchResult) {
+    let mut ns: Vec<Nanos> = r.samples_ns.iter().map(|&n| Nanos(n)).collect();
+    let s = stats(&mut ns);
+    row(&[
+        ("bench", r.name.clone()),
+        ("p50_ns", s.p50.as_nanos().to_string()),
+        ("min_ns", s.min.as_nanos().to_string()),
+        ("max_ns", s.max.as_nanos().to_string()),
+        ("samples", s.n.to_string()),
+        ("iters", r.iters_per_sample.to_string()),
+    ]);
 }
 
-fn descriptor(c: &mut Criterion) {
+fn main() {
+    let harness = Bench {
+        warmup_ms: 500,
+        samples: 20,
+        sample_ms: 10,
+    };
+    section("micro: host-time data-structure costs (testkit harness)");
+
+    let ring: Ring<u64> = Ring::new(1024);
+    report(&harness.run("ring_push_pop", || {
+        ring.push(black_box(42)).unwrap();
+        black_box(ring.pop());
+    }));
+
     let d = SegDescriptor::new(256 * 1024, 1024);
-    c.bench_function("descriptor_mark_and_check", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            d.mark(i % 256);
-            black_box(d.range_ready((i % 256) * 1024, 1024));
-            i += 1;
-        })
-    });
-}
+    let mut i = 0;
+    report(&harness.run("descriptor_mark_and_check", || {
+        d.mark(i % 256);
+        black_box(d.range_ready((i % 256) * 1024, 1024));
+        i += 1;
+    }));
 
-fn intervals(c: &mut Criterion) {
-    c.bench_function("interval_insert_covers", |b| {
-        b.iter(|| {
-            let mut s = IntervalSet::new();
-            for i in 0..32 {
-                s.insert(i * 100, i * 100 + 60);
-            }
-            black_box(s.covers(500, 550));
-        })
-    });
-}
+    report(&harness.run("interval_insert_covers", || {
+        let mut s = IntervalSet::new();
+        for i in 0..32 {
+            s.insert(i * 100, i * 100 + 60);
+        }
+        black_box(s.covers(500, 550));
+    }));
 
-fn chacha(c: &mut Criterion) {
     let key = [7u8; 32];
     let nonce = [1u8; 12];
     let mut data = vec![0u8; 4096];
-    c.bench_function("chacha20_4k", |b| {
-        b.iter(|| copier::apps::tls::chacha20_xor(&key, &nonce, 0, black_box(&mut data)))
-    });
-}
+    report(&harness.run("chacha20_4k", || {
+        copier::apps::tls::chacha20_xor(&key, &nonce, 0, black_box(&mut data));
+    }));
 
-fn lz77(c: &mut Criterion) {
-    let data: Vec<u8> = (0..16 * 1024).map(|i| ((i / 48) % 200) as u8).collect();
-    c.bench_function("lz77_compress_16k", |b| {
-        b.iter(|| black_box(copier::apps::zlib::lz77_compress(black_box(&data))))
-    });
+    let lz_data: Vec<u8> = (0..16 * 1024).map(|i| ((i / 48) % 200) as u8).collect();
+    report(&harness.run("lz77_compress_16k", || {
+        black_box(copier::apps::zlib::lz77_compress(black_box(&lz_data)));
+    }));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = ring, descriptor, intervals, chacha, lz77
-}
-criterion_main!(benches);

@@ -6,7 +6,8 @@
 //! introduced. This crate mechanizes the appendix's state machine —
 //! per-address **value lists** tagged with amemcpy identifiers, `csync`
 //! truncation to the latest value — and checks the consistency relation
-//! on randomized programs with proptest, under several service schedules.
+//! on randomized programs with `copier-testkit`'s property runner,
+//! under several service schedules (including seed-randomized ones).
 //!
 //! The model is deliberately tiny and separate from the real service: it
 //! validates the *semantics*, while `copier-core`'s tests validate the
@@ -22,52 +23,193 @@ pub use semantics::{
 #[cfg(test)]
 mod refinement {
     use super::semantics::*;
-    use proptest::prelude::*;
+    use copier_testkit::prop::{check_with, shrink_vec, Config};
+    use copier_testkit::{prop_assert, prop_assert_eq, TestRng};
 
-    fn arb_program() -> impl Strategy<Value = Program> {
-        let op = prop_oneof![
-            (0usize..MEM, 0usize..MEM, 1usize..8).prop_map(|(d, s, l)| {
-                let l = l.min(MEM - d).min(MEM - s).max(1);
+    fn arb_op(rng: &mut TestRng) -> Op {
+        match rng.range_usize(0, 4) {
+            0 => {
+                let d = rng.range_usize(0, MEM);
+                let s = rng.range_usize(0, MEM);
+                let l = rng.range_usize(1, 8).min(MEM - d).min(MEM - s).max(1);
                 Op::Copy {
                     dst: d,
                     src: s,
                     len: l,
                 }
-            }),
-            (0usize..MEM, any::<u8>()).prop_map(|(a, v)| Op::Write { addr: a, val: v }),
-            (0usize..MEM).prop_map(|a| Op::Read { addr: a }),
-            (0usize..MEM, 1usize..6).prop_map(|(a, l)| Op::Free {
-                addr: a,
-                len: l.min(MEM - a).max(1),
-            }),
-        ];
-        prop::collection::vec(op, 1..24).prop_map(|ops| Program { ops })
-    }
-
-    proptest! {
-        /// The headline theorem: for any program, the async execution
-        /// (amemcpy + csync inserted per the guidelines) observes exactly
-        /// the reads of the sync execution and ends in the same state.
-        #[test]
-        fn async_with_csync_refines_sync(p in arb_program()) {
-            let sync = run_sync(&p);
-            for schedule in [Schedule::Eager, Schedule::Lazy, Schedule::Alternate] {
-                let a = run_async(&transform(&p), schedule);
-                prop_assert_eq!(&sync.observations, &a.observations, "{:?}", schedule);
-                prop_assert_eq!(&sync.memory, &a.memory, "{:?}", schedule);
-                prop_assert_eq!(&sync.freed, &a.freed, "{:?}", schedule);
+            }
+            1 => Op::Write {
+                addr: rng.range_usize(0, MEM),
+                val: rng.next_u64() as u8,
+            },
+            2 => Op::Read {
+                addr: rng.range_usize(0, MEM),
+            },
+            _ => {
+                let a = rng.range_usize(0, MEM);
+                Op::Free {
+                    addr: a,
+                    len: rng.range_usize(1, 6).min(MEM - a).max(1),
+                }
             }
         }
+    }
 
-        /// Without the csync insertion the machine stays memory-safe (no
-        /// panics), though behaviors may diverge — the guidelines are
-        /// load-bearing for equivalence, not for safety.
-        #[test]
-        fn no_csync_still_memory_safe(p in arb_program()) {
-            let t = transform_without_csync(&p);
-            let _ = run_async(&t, Schedule::Lazy);
-            let _ = run_async(&t, Schedule::Eager);
+    fn arb_program(rng: &mut TestRng) -> Program {
+        let len = rng.range_usize(1, 24);
+        Program {
+            ops: (0..len).map(|_| arb_op(rng)).collect(),
         }
+    }
+
+    /// Shrinks a counterexample program: drop ops structurally, then
+    /// simplify individual ops (shorter lens, lower addrs, zero vals).
+    fn shrink_program(p: &Program) -> Vec<Program> {
+        shrink_vec(&p.ops, shrink_op)
+            .into_iter()
+            .filter(|ops| !ops.is_empty())
+            .map(|ops| Program { ops })
+            .collect()
+    }
+
+    fn shrink_op(op: &Op) -> Vec<Op> {
+        let mut out = Vec::new();
+        match *op {
+            Op::Copy { dst, src, len } => {
+                if len > 1 {
+                    out.push(Op::Copy {
+                        dst,
+                        src,
+                        len: len - 1,
+                    });
+                }
+                if dst > 0 {
+                    out.push(Op::Copy {
+                        dst: dst - 1,
+                        src,
+                        len,
+                    });
+                }
+                if src > 0 {
+                    out.push(Op::Copy {
+                        dst,
+                        src: src - 1,
+                        len,
+                    });
+                }
+            }
+            Op::Write { addr, val } => {
+                if val != 0 {
+                    out.push(Op::Write { addr, val: 0 });
+                }
+                if addr > 0 {
+                    out.push(Op::Write {
+                        addr: addr - 1,
+                        val,
+                    });
+                }
+            }
+            Op::Read { addr } => {
+                if addr > 0 {
+                    out.push(Op::Read { addr: addr - 1 });
+                }
+            }
+            Op::Free { addr, len } => {
+                if len > 1 {
+                    out.push(Op::Free {
+                        addr,
+                        len: len - 1,
+                    });
+                }
+                if addr > 0 {
+                    out.push(Op::Free {
+                        addr: addr - 1,
+                        len,
+                    });
+                }
+            }
+            Op::Csync { .. } => {}
+        }
+        out
+    }
+
+    /// Schedules every refinement property must hold under: the three
+    /// directed ones plus seed-randomized coins sampling the schedule
+    /// space (2^copies interleavings per program).
+    const SCHEDULES: [Schedule; 7] = [
+        Schedule::Eager,
+        Schedule::Lazy,
+        Schedule::Alternate,
+        Schedule::Seeded(0x1),
+        Schedule::Seeded(0xBAD_5EED),
+        Schedule::Seeded(0xFFFF_FFFF_FFFF_FFFF),
+        Schedule::Seeded(0x1234_5678_9ABC_DEF0),
+    ];
+
+    /// The headline theorem: for any program, the async execution
+    /// (amemcpy + csync inserted per the guidelines) observes exactly
+    /// the reads of the sync execution and ends in the same state.
+    #[test]
+    fn async_with_csync_refines_sync() {
+        check_with(
+            &Config::from_env(),
+            arb_program,
+            shrink_program,
+            |p: &Program| {
+                let sync = run_sync(p);
+                for schedule in SCHEDULES {
+                    let a = run_async(&transform(p), schedule);
+                    prop_assert_eq!(&sync.observations, &a.observations, "{:?}", schedule);
+                    prop_assert_eq!(&sync.memory, &a.memory, "{:?}", schedule);
+                    prop_assert_eq!(&sync.freed, &a.freed, "{:?}", schedule);
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// Refinement under *fresh* randomized schedules: the coin seed is
+    /// drawn per case, so every run of the suite with a new
+    /// `TESTKIT_SEED` explores schedules no directed list would.
+    #[test]
+    fn refines_sync_under_random_schedules() {
+        check_with(
+            &Config::from_env(),
+            |rng: &mut TestRng| (arb_program(rng), rng.next_u64()),
+            |(p, seed)| {
+                shrink_program(p)
+                    .into_iter()
+                    .map(|sp| (sp, *seed))
+                    .collect()
+            },
+            |(p, seed): &(Program, u64)| {
+                let sync = run_sync(p);
+                let a = run_async(&transform(p), Schedule::Seeded(*seed));
+                prop_assert_eq!(&sync.observations, &a.observations, "seed {:#x}", seed);
+                prop_assert_eq!(&sync.memory, &a.memory, "seed {:#x}", seed);
+                prop_assert_eq!(&sync.freed, &a.freed, "seed {:#x}", seed);
+                Ok(())
+            },
+        );
+    }
+
+    /// Without the csync insertion the machine stays memory-safe (no
+    /// panics), though behaviors may diverge — the guidelines are
+    /// load-bearing for equivalence, not for safety.
+    #[test]
+    fn no_csync_still_memory_safe() {
+        check_with(
+            &Config::from_env(),
+            arb_program,
+            shrink_program,
+            |p: &Program| {
+                let t = transform_without_csync(p);
+                for schedule in SCHEDULES {
+                    let _ = run_async(&t, schedule);
+                }
+                Ok(())
+            },
+        );
     }
 
     /// Directed Fig. 8 scenario: copy, client write into the pending
@@ -87,7 +229,7 @@ mod refinement {
         };
         let sync = run_sync(&p);
         assert_eq!(sync.observations, vec![99, 11]);
-        for schedule in [Schedule::Eager, Schedule::Lazy, Schedule::Alternate] {
+        for schedule in SCHEDULES {
             let a = run_async(&transform(&p), schedule);
             assert_eq!(sync.observations, a.observations, "{schedule:?}");
             assert_eq!(sync.memory, a.memory, "{schedule:?}");
@@ -125,5 +267,64 @@ mod refinement {
         let sync = run_sync(&p);
         let a = run_async(&transform_without_csync(&p), Schedule::Lazy);
         assert_ne!(sync.observations, a.observations);
+    }
+
+    /// The shrinker in anger: a deliberately broken "specification"
+    /// (reads never observe 7 after a copy) must shrink to the tiny
+    /// write→copy→read core, demonstrating counterexample minimization
+    /// on real model programs.
+    #[test]
+    fn shrinker_finds_minimal_divergence_program() {
+        let planted = |p: &Program| -> copier_testkit::PropResult {
+            let sync = run_sync(p);
+            prop_assert!(
+                !sync.observations.contains(&7),
+                "observed 7: {:?}",
+                sync.observations
+            );
+            Ok(())
+        };
+        let seed_program = Program {
+            ops: vec![
+                Op::Write { addr: 3, val: 9 },
+                Op::Write { addr: 0, val: 7 },
+                Op::Copy { dst: 8, src: 0, len: 4 },
+                Op::Free { addr: 2, len: 2 },
+                Op::Read { addr: 8 },
+                Op::Read { addr: 3 },
+            ],
+        };
+        assert!(planted(&seed_program).is_err());
+        let (minimal, _) =
+            copier_testkit::minimize(seed_program, &shrink_program, &planted, 8192);
+        // Minimal core: the write→copy→read chain with a length-1 copy —
+        // every unrelated op (the free, the extra write/read) must have
+        // been shrunk away, and the copy shortened to one byte.
+        assert!(
+            minimal.ops.len() <= 3,
+            "not minimal: {:?}",
+            minimal.ops
+        );
+        assert!(planted(&minimal).is_err());
+        let _ = run_sync(&minimal); // still a valid program
+    }
+
+    /// prop_assert_ne smoke: sync and broken-async genuinely differ on
+    /// a random program at least once across the case budget (the
+    /// divergence shown directed above also appears under generation).
+    #[test]
+    fn random_programs_can_diverge_without_csync() {
+        let mut rng = TestRng::new(0xD1FF);
+        let mut diverged = false;
+        for _ in 0..2000 {
+            let p = arb_program(&mut rng);
+            let sync = run_sync(&p);
+            let a = run_async(&transform_without_csync(&p), Schedule::Lazy);
+            if sync.observations != a.observations {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "no divergence found in 2000 random programs");
     }
 }

@@ -185,6 +185,20 @@ pub enum Schedule {
     Lazy,
     /// Odd submissions eager, even lazy.
     Alternate,
+    /// Each submission flips a deterministic coin from this seed —
+    /// refinement must hold under *every* service schedule, so the
+    /// tests sweep many seeds to sample the exponential schedule space.
+    Seeded(u64),
+}
+
+/// splitmix64 step for [`Schedule::Seeded`] coin flips (kept local so
+/// the model crate stays dependency-free).
+fn schedule_coin(state: &mut u64) -> bool {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) & 1 == 1
 }
 
 /// The async machine state: per-address value lists.
@@ -286,6 +300,10 @@ pub fn run_async(p: &Program, schedule: Schedule) -> Outcome {
     };
     let mut obs = Vec::new();
     let mut freed = Vec::new();
+    let mut coin_state = match schedule {
+        Schedule::Seeded(seed) => seed,
+        _ => 0,
+    };
     for op in &p.ops {
         match *op {
             Op::Copy { dst, src, len } => {
@@ -296,6 +314,7 @@ pub fn run_async(p: &Program, schedule: Schedule) -> Outcome {
                     Schedule::Eager => true,
                     Schedule::Lazy => false,
                     Schedule::Alternate => id % 2 == 1,
+                    Schedule::Seeded(_) => schedule_coin(&mut coin_state),
                 };
                 if eager {
                     let qi = st.queue.len() - 1;

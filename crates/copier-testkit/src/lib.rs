@@ -1,0 +1,31 @@
+//! # copier-testkit — hermetic, seed-deterministic test & bench substrate
+//!
+//! The repository's headline property is bit-for-bit determinism
+//! (DESIGN §"deterministic discrete-event simulator"), so the test and
+//! bench tooling must own every entropy and timing source rather than
+//! pull them from external crates at registry-resolution time. This
+//! crate replaces the three external dev-dependencies the workspace
+//! used to carry:
+//!
+//! * [`rng`] replaces `rand` — a splitmix64-seeded **xoshiro256++**
+//!   generator with the `gen_range` / `fill_bytes` / `shuffle` surface
+//!   the tests need, plus `fork()` for independent per-thread streams.
+//! * [`prop`] replaces `proptest` — a minimal property-testing runner:
+//!   case generation from the PRNG, greedy failure shrinking, and a
+//!   fixed-seed regression mode (`TESTKIT_REPRO`) so any reported
+//!   counterexample replays exactly.
+//! * [`bench`] replaces `criterion` — warmup, per-sample iteration
+//!   calibration, and raw nanosecond samples that feed directly into
+//!   `copier-bench`'s `stats()`.
+//!
+//! Everything is deterministic from a seed: the same `TESTKIT_SEED`
+//! explores the same cases, and a failure line prints the one
+//! environment variable needed to replay it.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{black_box, Bench, BenchResult};
+pub use prop::{check, check_with, minimize, Arbitrary, Config, PropResult};
+pub use rng::TestRng;

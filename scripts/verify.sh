@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verify, hermetically: the workspace must build and test with
+# zero registry access. --offline is the point — a dependency on a
+# non-vendored crate regresses exactly this command, which is how the
+# seed state (rand/proptest/criterion unfetchable) broke the build.
+# Cargo.lock is committed; --locked refuses silent re-resolution.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --locked
+cargo test -q --workspace --offline --locked

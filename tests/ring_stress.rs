@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use copier::core::Ring;
+use copier_testkit::TestRng;
 
 #[test]
 fn mpsc_no_loss_no_duplication_per_producer_fifo() {
@@ -67,6 +68,81 @@ fn mpsc_no_loss_no_duplication_per_producer_fifo() {
     stop.store(true, Ordering::Relaxed);
     consumer.join().unwrap();
     assert!(ring.pop().is_none(), "ring fully drained");
+}
+
+/// Randomized interleavings: seeded per-thread streams vary producer
+/// count, ring capacity, burst sizes, and yield points, so each seed
+/// exercises a different contention pattern against the same
+/// no-loss / no-duplication / per-producer-FIFO contract.
+#[test]
+fn randomized_interleavings_preserve_ring_contract() {
+    for seed in 0..6u64 {
+        let mut root = TestRng::new(0xB1A5_0000 + seed);
+        let producers = root.range_usize(2, 5);
+        let capacity = 1 << root.range_usize(3, 9); // 8..=256 slots
+        let per: u64 = root.range_usize(2_000, 12_000) as u64;
+        let ring: Arc<Ring<u64>> = Arc::new(Ring::new(capacity));
+
+        let mut handles = Vec::new();
+        for p in 0..producers as u64 {
+            let ring = Arc::clone(&ring);
+            let mut rng = root.fork();
+            handles.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                while i < per {
+                    // Push a random burst, then maybe yield to shake
+                    // up which producer owns the CAS race.
+                    let burst = rng.range_usize(1, 64) as u64;
+                    for _ in 0..burst.min(per - i) {
+                        let v = p << 32 | i;
+                        while ring.push(v).is_err() {
+                            std::thread::yield_now();
+                        }
+                        i += 1;
+                    }
+                    if rng.gen_bool(0.3) {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            let mut rng = root.fork();
+            std::thread::spawn(move || {
+                let mut last = vec![None::<u64>; producers];
+                let mut seen = 0u64;
+                while seen < producers as u64 * per {
+                    match ring.pop() {
+                        Some(v) => {
+                            let (p, i) = ((v >> 32) as usize, v & 0xffff_ffff);
+                            assert!(
+                                last[p].map_or(true, |x| x < i),
+                                "producer {p} out of order: {i} after {:?}",
+                                last[p]
+                            );
+                            last[p] = Some(i);
+                            seen += 1;
+                            // Random consumer stalls force the ring
+                            // through full/empty transitions.
+                            if rng.gen_bool(0.05) {
+                                std::thread::yield_now();
+                            }
+                        }
+                        None => std::hint::spin_loop(),
+                    }
+                }
+                assert_eq!(last, vec![Some(per - 1); producers]);
+            })
+        };
+
+        for h in handles {
+            h.join().unwrap();
+        }
+        consumer.join().unwrap();
+        assert!(ring.pop().is_none(), "seed {seed}: ring fully drained");
+    }
 }
 
 #[test]
