@@ -59,6 +59,7 @@ pub fn encode(
 ///
 /// Returns the decoded message and the end-to-end latency (recv entry to
 /// last field decoded).
+#[allow(clippy::too_many_arguments)]
 pub async fn recv_and_decode(
     os: &Rc<Os>,
     net: &Rc<NetStack>,

@@ -80,6 +80,10 @@ struct DbValue {
 }
 
 /// The server state.
+/// Deferred cleanup: the guard descriptor to wait on, plus the
+/// intermediate copies to abort once it lands.
+type PrevCleanup = Option<(Rc<SegDescriptor>, Vec<Rc<SegDescriptor>>)>;
+
 pub struct RedisServer {
     os: Rc<Os>,
     net: Rc<NetStack>,
@@ -97,7 +101,7 @@ pub struct RedisServer {
     /// Cleanup owed from the previous request (Copier mode): wait for the
     /// guard descriptor, then abort the listed intermediate copies — the
     /// paper's lazy+abort reuse pattern (§4.4, §5.1 low-level APIs).
-    prev: RefCell<Option<(Rc<SegDescriptor>, Vec<Rc<SegDescriptor>>)>>,
+    prev: RefCell<PrevCleanup>,
     /// Descriptor of the last recv task (abort target on SET).
     last_recv: RefCell<Option<Rc<SegDescriptor>>>,
     /// Descriptor of the pending GET output-mediator copy.
@@ -272,10 +276,11 @@ impl RedisServer {
                     .await?;
             }
             Op::Get => {
-                let db = self.db.borrow();
-                let v = db.get(&key).expect("key exists");
-                let (vva, vl) = (v.va, v.len);
-                drop(db);
+                let (vva, vl) = {
+                    let db = self.db.borrow();
+                    let v = db.get(&key).expect("key exists");
+                    (v.va, v.len)
+                };
                 space.write_bytes(self.out_buf, &(vl as u32).to_le_bytes())?;
                 // Copy 3: value buffer → output buffer.
                 match &self.mode {

@@ -31,6 +31,7 @@ struct Tracked {
 }
 
 /// Options for the low-level `_amemcpy` (§5.1, Table 2).
+#[derive(Default)]
 pub struct AmemcpyOpts {
     /// Queue-set index (the `fd`); 0 = the per-process default queues.
     pub fd: usize,
@@ -50,21 +51,6 @@ pub struct AmemcpyOpts {
     /// Skip the tracking table (caller keeps the descriptor and uses
     /// `_csync` with it directly).
     pub untracked: bool,
-}
-
-impl Default for AmemcpyOpts {
-    fn default() -> Self {
-        AmemcpyOpts {
-            fd: 0,
-            func: None,
-            descr: None,
-            lazy: false,
-            seg: 0,
-            src_space: None,
-            dst_space: None,
-            untracked: false,
-        }
-    }
 }
 
 /// A per-process libCopier instance.
@@ -160,10 +146,21 @@ impl CopierHandle {
         }
         let set = self.client.set(opts.fd);
         core.advance(self.cost.task_submit).await;
+        // A reaped (dead) client no longer has a service draining its
+        // rings: fail fast instead of queueing into the void (a real
+        // process would be gone; this path covers exit races in tests).
+        if self.client.dead.get() {
+            descr.poison(CopyFault::Aborted);
+            return descr;
+        }
         let entry = QueueEntry::Copy(task);
         // Ring full → spin-retry: the client burns its own cycles until the
         // service drains a slot (the paper's backpressure behavior).
         while set.uq.copy.push(entry.clone()).is_err() {
+            if self.client.dead.get() {
+                descr.poison(CopyFault::Aborted);
+                return descr;
+            }
             self.svc.awaken();
             core.advance(self.spin_step).await;
         }
@@ -349,6 +346,11 @@ impl CopierHandle {
             }
             if descr.range_ready(off, len) {
                 return Ok(());
+            }
+            // A reaped client will never be served again; unblock the
+            // waiter instead of spinning forever.
+            if self.client.dead.get() {
+                return Err(CopyFault::Aborted);
             }
             if h.now() < spin_deadline {
                 core.advance(self.spin_step).await;
@@ -538,6 +540,7 @@ pub struct KernelSection {
 impl KernelSection {
     /// Submits a k-mode Copy Task. The descriptor is drawn from the
     /// client's pool and tracked so user-side `csync` finds it.
+    #[allow(clippy::too_many_arguments)]
     pub async fn submit(
         &self,
         core: &Rc<Core>,

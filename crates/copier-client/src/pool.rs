@@ -10,10 +10,13 @@ use std::rc::Rc;
 
 use copier_core::SegDescriptor;
 
+/// Free descriptors keyed by `(len, segment)`.
+type FreeMap = BTreeMap<(usize, usize), Vec<Rc<SegDescriptor>>>;
+
 /// A pool of reusable descriptors keyed by `(len, segment)`.
 #[derive(Default)]
 pub struct DescriptorPool {
-    free: RefCell<BTreeMap<(usize, usize), Vec<Rc<SegDescriptor>>>>,
+    free: RefCell<FreeMap>,
     /// Descriptors handed out and awaiting recycling.
     busy: RefCell<Vec<Rc<SegDescriptor>>>,
     allocs: std::cell::Cell<u64>,

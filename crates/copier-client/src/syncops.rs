@@ -16,6 +16,7 @@ use copier_sim::{Core, Nanos};
 ///
 /// Charges `kind`'s cost curve plus inline fault handling, performs the
 /// real data movement, and returns the fault work for diagnostics.
+#[allow(clippy::too_many_arguments)]
 pub async fn sync_copy(
     core: &Rc<Core>,
     cost: &Rc<CostModel>,

@@ -121,6 +121,22 @@ impl PendEntry {
     }
 }
 
+/// A destination range a faulted copy never (fully) wrote. Remembered on
+/// the owning set so that later-submitted tasks sourcing from the range
+/// are failed in dependency order (§4.4) instead of silently reading
+/// stale bytes; a fresh copy that fully overwrites the range clears it.
+#[derive(Debug, Clone, Copy)]
+pub struct TaintRange {
+    /// Address-space id of the garbaged destination.
+    pub space: u32,
+    /// Start virtual address (inclusive).
+    pub lo: u64,
+    /// End virtual address (exclusive).
+    pub hi: u64,
+    /// The fault to propagate to dependents.
+    pub fault: CopyFault,
+}
+
 /// A paired u-mode/k-mode queue set with its merge and window state.
 pub struct QueueSet {
     /// u-mode queues (mapped into the client).
@@ -135,6 +151,8 @@ pub struct QueueSet {
     pub seq: Cell<u64>,
     /// The in-flight window, sorted by `key`.
     pub pending: RefCell<VecDeque<Rc<PendEntry>>>,
+    /// Destinations garbaged by faulted copies (bounded; oldest evicted).
+    pub tainted: RefCell<Vec<TaintRange>>,
 }
 
 impl QueueSet {
@@ -147,6 +165,7 @@ impl QueueSet {
             u_index: Cell::new(0),
             seq: Cell::new(0),
             pending: RefCell::new(VecDeque::new()),
+            tainted: RefCell::new(Vec::new()),
         })
     }
 
@@ -178,6 +197,9 @@ pub struct Client {
     pub cgroup: Cell<usize>,
     /// Signals delivered on unrecoverable faults (simulated SIGSEGV).
     pub signals: RefCell<Vec<CopyFault>>,
+    /// Set by orphan reclamation when the owning process died; the library
+    /// side must stop submitting and waiting.
+    pub dead: Cell<bool>,
 }
 
 impl Client {
@@ -190,6 +212,7 @@ impl Client {
             copied_total: Cell::new(0),
             cgroup: Cell::new(0),
             signals: RefCell::new(Vec::new()),
+            dead: Cell::new(false),
         })
     }
 
@@ -214,6 +237,9 @@ impl Client {
     /// Whether any set has queued or windowed work runnable at `now`
     /// (mirrors the service's batch-selection rules).
     pub fn has_work(&self, now: Nanos, lazy_period: Nanos) -> bool {
+        if self.dead.get() {
+            return false;
+        }
         self.sets.borrow().iter().any(|s| {
             !s.uq.copy.is_empty()
                 || !s.kq.copy.is_empty()

@@ -1,6 +1,8 @@
 //! Service configuration.
 
-use copier_sim::Nanos;
+use std::rc::Rc;
+
+use copier_sim::{FaultPlan, Nanos};
 
 use crate::descriptor::DEFAULT_SEGMENT;
 use crate::sched::DEFAULT_COPY_SLICE;
@@ -34,6 +36,12 @@ pub struct CopierConfig {
     pub absorption: bool,
     /// Attach the DMA engine (§4.3).
     pub use_dma: bool,
+    /// Independent DMA channels (quarantine granularity; ≥ 1).
+    pub dma_channels: usize,
+    /// Deterministic fault-injection oracle consulted by the DMA engine
+    /// (per descriptor) and the ATCache path (per hit). `None` disables
+    /// injection entirely.
+    pub fault_plan: Option<Rc<FaultPlan>>,
     /// ATCache entries (0 disables the cache).
     pub atcache_capacity: usize,
     /// Polling behavior.
@@ -64,6 +72,8 @@ impl Default for CopierConfig {
             lazy_period: Nanos::from_micros(50),
             absorption: true,
             use_dma: true,
+            dma_channels: 1,
+            fault_plan: None,
             atcache_capacity: 256,
             polling: PollMode::Napi {
                 // SQPOLL-style idle budget (~160 µs of spinning) before

@@ -28,7 +28,7 @@ pub mod service;
 pub mod task;
 
 pub use absorb::{AbsorbPlan, SrcPiece, MAX_ABSORB_DEPTH};
-pub use client::{Client, ClientId, PendEntry, QueuePair, QueueSet, DEFAULT_QUEUE_CAP};
+pub use client::{Client, ClientId, PendEntry, QueuePair, QueueSet, TaintRange, DEFAULT_QUEUE_CAP};
 pub use config::{CopierConfig, PollMode};
 pub use descriptor::{CopyFault, SegDescriptor, DEFAULT_SEGMENT};
 pub use interval::IntervalSet;

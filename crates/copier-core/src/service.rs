@@ -27,7 +27,7 @@ use copier_mem::{AddressSpace, Extent, FrameId, MemError, PhysMem, VirtAddr, PAG
 use copier_sim::{Core, Nanos, Notify, SimHandle};
 
 use crate::absorb::{self, AbsorbPlan};
-use crate::client::{Client, ClientId, PendEntry, QueueSet};
+use crate::client::{Client, ClientId, PendEntry, QueueSet, TaintRange};
 use crate::config::{CopierConfig, PollMode};
 use crate::descriptor::CopyFault;
 use crate::interval::IntervalSet;
@@ -61,6 +61,16 @@ pub struct CopierStats {
     pub dispatch: DispatchReport,
     /// Page faults proactively resolved during planning.
     pub proactive_faults: u64,
+    /// Transient-failed DMA descriptors resubmitted.
+    pub retries: u64,
+    /// Bytes rescued by the CPU after DMA gave up on them.
+    pub fallback_bytes: u64,
+    /// DMA channels currently quarantined (point-in-time, not cumulative).
+    pub quarantined_channels: u64,
+    /// Orphaned tasks reclaimed from dead clients.
+    pub orphans_reclaimed: u64,
+    /// Dependent tasks aborted in dependency order after a fault (§4.4).
+    pub dependents_aborted: u64,
 }
 
 struct Selected {
@@ -103,9 +113,15 @@ impl Copier {
         cfg: CopierConfig,
     ) -> Rc<Self> {
         assert!(!cores.is_empty(), "Copier needs at least one core");
-        let dma = cfg
-            .use_dma
-            .then(|| DmaEngine::new(h, Rc::clone(&pm), Rc::clone(&cost)));
+        let dma = cfg.use_dma.then(|| {
+            DmaEngine::with_channels(
+                h,
+                Rc::clone(&pm),
+                Rc::clone(&cost),
+                cfg.dma_channels.max(1),
+                cfg.fault_plan.clone(),
+            )
+        });
         let dispatcher = Rc::new(Dispatcher::new(Rc::clone(&pm), Rc::clone(&cost), dma));
         let atcache = Rc::new(ATCache::new(cfg.atcache_capacity.max(1)));
         atcache.set_enabled(cfg.atcache_capacity > 0);
@@ -162,7 +178,12 @@ impl Copier {
 
     /// Snapshot of the service statistics.
     pub fn stats(&self) -> CopierStats {
-        *self.stats.borrow()
+        let mut s = *self.stats.borrow();
+        s.quarantined_channels = self
+            .dispatcher
+            .dma()
+            .map_or(0, |d| d.quarantined() as u64);
+        s
     }
 
     /// Resets the statistics.
@@ -408,6 +429,32 @@ impl Copier {
     }
 
     fn push_pending(&self, set: &Rc<QueueSet>, key: (u64, u8, u64), t: CopyTask) {
+        // Dependency cascade across rounds (§4.4): a task sourcing from a
+        // range a faulted producer never wrote would read garbage — fail it
+        // up front with the producer's fault instead of letting absorption
+        // or a raw copy forward stale bytes.
+        let (ssp, slo, shi) = t.src_range();
+        let hit = set
+            .tainted
+            .borrow()
+            .iter()
+            .find(|x| x.space == ssp && x.lo < shi && slo < x.hi)
+            .map(|x| x.fault);
+        if let Some(fault) = hit {
+            t.descr.poison(fault);
+            self.deliver_handler(set, &t);
+            let (dsp, dlo, dhi) = t.dst_range();
+            self.remember_taint(set, dsp, dlo, dhi, fault);
+            let mut st = self.stats.borrow_mut();
+            st.faults += 1;
+            st.dependents_aborted += 1;
+            return;
+        }
+        // A fresh copy that fully overwrites a tainted range heals it.
+        let (dsp, dlo, dhi) = t.dst_range();
+        set.tainted
+            .borrow_mut()
+            .retain(|x| !(x.space == dsp && dlo <= x.lo && x.hi <= dhi));
         let tid = self.next_tid.get();
         self.next_tid.set(tid + 1);
         let entry = Rc::new(PendEntry {
@@ -598,11 +645,21 @@ impl Copier {
     ) -> Result<(Vec<Extent>, Vec<FrameId>), CopyFault> {
         if let Some(extents) = self.atcache.lookup(space, va, len) {
             core.advance(self.cost.atc_hit).await;
-            let frames = frames_of(&extents);
-            for &f in &frames {
-                self.pm.pin(f);
+            let stale = self
+                .cfg
+                .fault_plan
+                .as_ref()
+                .is_some_and(|p| p.decide_atc_stale());
+            if !stale {
+                let frames = frames_of(&extents);
+                for &f in &frames {
+                    self.pm.pin(f);
+                }
+                return Ok((extents, frames));
             }
-            return Ok((extents, frames));
+            // Injected stale hit: the cached translation cannot be trusted;
+            // pay the hit, fall through to a full walk (which re-validates
+            // and refreshes the entry).
         }
         let pages = len.div_ceil(PAGE_SIZE).max(1) as u64;
         // Sequential walks over one range share PT cache lines (8 PTEs per
@@ -630,7 +687,7 @@ impl Copier {
             Err(e) => {
                 core.advance(walk_cost).await;
                 Err(match e {
-                    MemError::OutOfMemory => CopyFault::OutOfMemory,
+                    MemError::OutOfMemory | MemError::Fragmented => CopyFault::OutOfMemory,
                     _ => CopyFault::Segv,
                 })
             }
@@ -676,11 +733,15 @@ impl Copier {
                     live.push(s);
                 }
                 Err(fault) => {
+                    // Mid-copy fault: poison only this descriptor (partial
+                    // progress already marked stays marked), then abort its
+                    // dependents in dependency order (§4.4).
                     e.failed.set(Some(fault));
                     e.task.descr.poison(fault);
                     client.signals.borrow_mut().push(fault);
                     self.stats.borrow_mut().faults += 1;
                     self.finalize(&s.set, e);
+                    self.cascade_fault(&s.set, client, e, fault);
                 }
             }
         }
@@ -697,10 +758,14 @@ impl Copier {
             {
                 let mut st = self.stats.borrow_mut();
                 st.bytes_copied += (report.cpu_bytes + report.dma_bytes) as u64;
+                st.retries += report.retries;
+                st.fallback_bytes += report.fallback_bytes as u64;
                 st.dispatch.cpu_bytes += report.cpu_bytes;
                 st.dispatch.dma_bytes += report.dma_bytes;
                 st.dispatch.dma_descriptors += report.dma_descriptors;
                 st.dispatch.dma_wait += report.dma_wait;
+                st.dispatch.retries += report.retries;
+                st.dispatch.fallback_bytes += report.fallback_bytes;
             }
             self.sched.charge(client, planned_bytes);
         }
@@ -759,31 +824,137 @@ impl Copier {
     }
 
     /// Completes a task: handlers, unpinning, window removal. Idempotent:
-    /// only the first caller runs the handler and releases pins.
+    /// only the first caller runs the handler; pins drain on every call
+    /// (a planner racing an orphan sweep may append pins to an
+    /// already-finalized entry, and those must still be released).
     fn finalize(&self, set: &Rc<QueueSet>, e: &Rc<PendEntry>) {
-        if e.finalized.replace(true) {
-            return;
-        }
-        // Unpin everything the planning pinned.
         for (space, frames) in e.pins.borrow_mut().drain(..) {
             space.unpin_frames(&frames);
         }
-        if e.failed.get().is_none() {
-            if let Some(h) = &e.task.func {
-                match h {
-                    Handler::KFunc(f) => f(),
-                    Handler::UFunc(f) => {
-                        // Deliver to the client's handler queue; libCopier
-                        // runs it in post_handlers().
-                        let _ = set.uq.handler.push(Handler::UFunc(Rc::clone(f)));
-                    }
-                }
-            }
+        if e.finalized.replace(true) {
+            return;
         }
+        // Handlers run for failed and aborted tasks too: the completion
+        // callback observes the outcome through the poisoned descriptor
+        // instead of being silently dropped.
+        self.deliver_handler(set, &e.task);
         if !e.aborted.get() && e.failed.get().is_none() {
             self.stats.borrow_mut().tasks_completed += 1;
         }
         set.pending.borrow_mut().retain(|p| !Rc::ptr_eq(p, e));
+    }
+
+    /// Runs a task's KFUNC inline or queues its UFUNC for post_handlers().
+    fn deliver_handler(&self, set: &Rc<QueueSet>, t: &CopyTask) {
+        if let Some(h) = &t.func {
+            match h {
+                Handler::KFunc(f) => f(),
+                Handler::UFunc(f) => {
+                    // Deliver to the client's handler queue; libCopier
+                    // runs it in post_handlers().
+                    let _ = set.uq.handler.push(Handler::UFunc(Rc::clone(f)));
+                }
+            }
+        }
+    }
+
+    /// Records a garbaged destination range on the set (bounded list).
+    fn remember_taint(&self, set: &Rc<QueueSet>, space: u32, lo: u64, hi: u64, fault: CopyFault) {
+        let mut t = set.tainted.borrow_mut();
+        if t.len() >= 64 {
+            t.remove(0);
+        }
+        t.push(TaintRange {
+            space,
+            lo,
+            hi,
+            fault,
+        });
+    }
+
+    /// §4.4 dependency-ordered cleanup after a fault: the failed task's
+    /// destination was never (fully) written, so any later window entry
+    /// sourcing from it — directly or through a chain — is poisoned with
+    /// the parent fault, in window-key order. Absorption never sees the
+    /// dependents (they are finalized out of the window), so it can never
+    /// forward from a poisoned source. The garbaged ranges are remembered
+    /// on the set so copies submitted in later rounds hit the same wall
+    /// until a fresh write fully overwrites the range.
+    fn cascade_fault(
+        &self,
+        set: &Rc<QueueSet>,
+        client: &Rc<Client>,
+        failed: &Rc<PendEntry>,
+        fault: CopyFault,
+    ) {
+        let mut tainted: Vec<(u32, u64, u64)> = vec![failed.task.dst_range()];
+        let later: Vec<Rc<PendEntry>> = set
+            .pending
+            .borrow()
+            .iter()
+            .filter(|p| p.key > failed.key && !p.finished())
+            .cloned()
+            .collect();
+        let mut killed = Vec::new();
+        for p in later {
+            let (sp, lo, hi) = p.task.src_range();
+            if tainted.iter().any(|&(s, l, h)| s == sp && l < hi && lo < h) {
+                p.failed.set(Some(fault));
+                p.task.descr.poison(fault);
+                client.signals.borrow_mut().push(fault);
+                tainted.push(p.task.dst_range());
+                {
+                    let mut st = self.stats.borrow_mut();
+                    st.faults += 1;
+                    st.dependents_aborted += 1;
+                }
+                killed.push(p);
+            }
+        }
+        for p in &killed {
+            self.finalize(set, p);
+        }
+        for (sp, lo, hi) in tainted {
+            self.remember_taint(set, sp, lo, hi, fault);
+        }
+    }
+
+    /// Orphan reclamation: reclaims everything a dead client left behind
+    /// (`exit` with queued or in-flight copies). Queued-but-undrained
+    /// descriptors are poisoned `Aborted` so library waiters unblock,
+    /// window entries — including deferred absorption obligations — are
+    /// aborted and finalized (releasing their pins), CSH rings are
+    /// drained, and the client is unregistered. Returns the number of
+    /// orphaned tasks reclaimed.
+    pub fn reap_client(&self, client: &Rc<Client>) -> u64 {
+        client.dead.set(true);
+        let mut reclaimed = 0u64;
+        let sets: Vec<Rc<QueueSet>> = client.sets.borrow().iter().cloned().collect();
+        for set in &sets {
+            for pair in [&set.uq, &set.kq] {
+                while let Some(entry) = pair.copy.pop() {
+                    if let QueueEntry::Copy(t) = entry {
+                        t.descr.poison(CopyFault::Aborted);
+                        reclaimed += 1;
+                    }
+                }
+                while pair.sync.pop().is_some() {}
+                while pair.handler.pop().is_some() {}
+            }
+            let pending: Vec<Rc<PendEntry>> = set.pending.borrow().iter().cloned().collect();
+            for p in &pending {
+                if !p.finished() {
+                    p.aborted.set(true);
+                    p.task.descr.poison(CopyFault::Aborted);
+                    reclaimed += 1;
+                }
+                self.finalize(set, p);
+            }
+            set.tainted.borrow_mut().clear();
+        }
+        self.clients.borrow_mut().retain(|c| !Rc::ptr_eq(c, client));
+        self.stats.borrow_mut().orphans_reclaimed += reclaimed;
+        reclaimed
     }
 }
 

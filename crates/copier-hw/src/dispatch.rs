@@ -21,7 +21,7 @@ use copier_mem::PhysMem;
 use copier_sim::{Core, Nanos};
 
 use crate::cost::{CostModel, CpuCopyKind};
-use crate::dma::DmaEngine;
+use crate::dma::{DmaEngine, DmaError};
 use crate::units::{CpuUnit, SubTask};
 
 /// A copy ready for hardware: already split into subtasks.
@@ -46,6 +46,11 @@ pub struct DispatchReport {
     pub dma_descriptors: usize,
     /// Copier-core time spent waiting on straggling DMA completions.
     pub dma_wait: Nanos,
+    /// Transient-failed descriptors resubmitted (bounded backoff).
+    pub retries: u64,
+    /// Bytes rescued by the CPU after DMA gave up (counted in `cpu_bytes`
+    /// too; subtracted from `dma_bytes`).
+    pub fallback_bytes: usize,
 }
 
 /// Progress notification: `(task_id, offset_within_task, len)`.
@@ -70,6 +75,11 @@ impl Dispatcher {
     /// Whether a DMA engine is attached.
     pub fn has_dma(&self) -> bool {
         self.dma.is_some()
+    }
+
+    /// The attached DMA engine, if any (for quarantine observability).
+    pub fn dma(&self) -> Option<&Rc<DmaEngine>> {
+        self.dma.as_ref()
     }
 
     /// The cost model in use.
@@ -117,7 +127,9 @@ impl Dispatcher {
             .iter()
             .map(|t| vec![false; t.subtasks.len()])
             .collect();
-        if self.dma.is_none() {
+        // A fully quarantined engine is as good as absent: plan pure CPU.
+        let live = self.dma.as_ref().map_or(0, |d| d.live_channels());
+        if live == 0 {
             return assign;
         }
         // Balance against the bytes actually in this round's subtasks (a
@@ -192,7 +204,7 @@ impl Dispatcher {
                                 p(task_id, s.task_off, s.len());
                             })),
                         );
-                        completions.push(c);
+                        completions.push((c, task_id));
                         report.dma_descriptors += 1;
                         report.dma_bytes += st.len();
                     }
@@ -215,13 +227,81 @@ impl Dispatcher {
             }
         }
 
-        // Phase 3: confirm DMA completions, polling if the device lags.
-        for c in completions {
-            core.advance(self.cost.dma_complete_check).await;
-            while !c.is_done() {
-                let t0 = core_now(core);
-                core.advance(self.cost.dma_complete_check.max(Nanos(100))).await;
-                report.dma_wait += core_now(core) - t0;
+        // Phase 3: confirm DMA completions, recovering failures so the
+        // batch still lands every byte. Transient errors are resubmitted
+        // under a bounded deterministic exponential backoff; a descriptor
+        // that outlives its wait budget is cancelled; anything that cannot
+        // be retried (dead channel, timeout, retry budget spent) falls back
+        // to the CPU unit. Segment accounting stays exact because progress
+        // fires exactly once per subtask: from the device on success, from
+        // the fallback copy otherwise (failed/cancelled descriptors never
+        // fire `on_done`).
+        if let Some(dma) = &self.dma {
+            for (mut c, task_id) in completions {
+                let mut attempts = 0u32;
+                loop {
+                    core.advance(self.cost.dma_complete_check).await;
+                    let budget = Nanos(
+                        self.cost
+                            .dma_transfer(c.subtask.len())
+                            .as_nanos()
+                            .saturating_mul(self.cost.dma_wait_budget.max(1)),
+                    );
+                    let t0 = core_now(core);
+                    while !c.is_settled() {
+                        core.advance(self.cost.dma_complete_check.max(Nanos(100)))
+                            .await;
+                        if core_now(core) - t0 > budget {
+                            // The device is stalling far past the modeled
+                            // time; withdraw the descriptor. The device
+                            // re-checks the flag before landing bytes, so a
+                            // cancelled descriptor can never complete behind
+                            // our back and double-fire progress. If it
+                            // settled between the check and the cancel, the
+                            // cancel is a no-op and the result stands.
+                            c.cancel();
+                            break;
+                        }
+                    }
+                    report.dma_wait += core_now(core) - t0;
+                    if c.is_done() {
+                        break;
+                    }
+                    let err = c.error().unwrap_or(DmaError::Timeout);
+                    if err == DmaError::Transient
+                        && attempts < self.cost.dma_retry_limit
+                        && dma.live_channels() > 0
+                    {
+                        attempts += 1;
+                        report.retries += 1;
+                        let backoff = Nanos(
+                            self.cost.dma_retry_backoff.as_nanos()
+                                << (attempts - 1).min(16),
+                        );
+                        core.advance(backoff).await;
+                        core.advance(self.cost.dma_submit).await;
+                        let p = Rc::clone(&progress);
+                        let tid = task_id;
+                        let st = c.subtask;
+                        c = dma.submit(
+                            st,
+                            Some(Box::new(move |s: &SubTask| {
+                                p(tid, s.task_off, s.len());
+                            })),
+                        );
+                        continue;
+                    }
+                    // CPU fallback: rescue the descriptor's bytes inline.
+                    let st = c.subtask;
+                    core.advance(self.cpu.cost_of(st.len())).await;
+                    crate::units::copy_extent_pair(&self.pm, st.dst, st.src);
+                    core.cache.note_inline_copy(st.len());
+                    progress(task_id, st.task_off, st.len());
+                    report.fallback_bytes += st.len();
+                    report.cpu_bytes += st.len();
+                    report.dma_bytes -= st.len();
+                    break;
+                }
             }
         }
         report

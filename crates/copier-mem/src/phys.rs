@@ -40,8 +40,11 @@ struct FrameSlot {
 /// Errors from the physical allocator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PhysError {
-    /// The pool has no free frame (or no suitable contiguous run).
+    /// The pool has too few free frames for the request.
     OutOfMemory,
+    /// Enough frames are free, but no run of them is contiguous — a
+    /// distinct cause (compaction would help, more memory would not).
+    Fragmented,
 }
 
 /// A fixed-capacity pool of frames.
@@ -149,7 +152,13 @@ impl PhysMem {
                 run = 0;
             }
         }
-        let start = found.ok_or(PhysError::OutOfMemory)?;
+        let start = found.ok_or_else(|| {
+            if self.free.borrow().len() >= n {
+                PhysError::Fragmented
+            } else {
+                PhysError::OutOfMemory
+            }
+        })?;
         // Remove the run's ids from the free list.
         self.free
             .borrow_mut()
@@ -210,6 +219,12 @@ impl PhysMem {
     /// Whether the frame is currently pinned.
     pub fn is_pinned(&self, f: FrameId) -> bool {
         self.slots[f.0 as usize].pins.get() > 0
+    }
+
+    /// Number of frames with a nonzero pin count (leak detection: after
+    /// every in-flight copy settles this must return to zero).
+    pub fn pinned_frames(&self) -> usize {
+        self.slots.iter().filter(|s| s.pins.get() > 0).count()
     }
 
     /// Reads from a frame into `buf`.
@@ -320,6 +335,19 @@ mod tests {
         pm.alloc().unwrap();
         assert_eq!(pm.alloc(), Err(PhysError::OutOfMemory));
         assert_eq!(pm.alloc_contiguous(2), Err(PhysError::OutOfMemory));
+    }
+
+    #[test]
+    fn fragmentation_distinguished_from_oom() {
+        let pm = PhysMem::new(4, AllocPolicy::Sequential);
+        let frames: Vec<FrameId> = (0..4).map(|_| pm.alloc().unwrap()).collect();
+        // Free alternating frames: 2 free frames, but no contiguous pair.
+        pm.decref(frames[0]);
+        pm.decref(frames[2]);
+        assert_eq!(pm.alloc_contiguous(2), Err(PhysError::Fragmented));
+        // Free a neighbor: now a run exists.
+        pm.decref(frames[1]);
+        assert!(pm.alloc_contiguous(2).is_ok());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub struct VirtAddr(pub u64);
 
 impl VirtAddr {
     /// Address plus byte offset.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, off: usize) -> VirtAddr {
         VirtAddr(self.0 + off as u64)
     }
@@ -41,7 +42,7 @@ impl VirtAddr {
 
     /// Whether the address is page aligned.
     pub fn is_page_aligned(self) -> bool {
-        self.0 % PAGE_SIZE as u64 == 0
+        self.0.is_multiple_of(PAGE_SIZE as u64)
     }
 }
 
@@ -106,6 +107,8 @@ pub enum MemError {
     Segv(VirtAddr),
     /// Physical memory exhausted while handling a fault.
     OutOfMemory,
+    /// Physical memory too fragmented for a required contiguous run.
+    Fragmented,
     /// The operation would tear down a pinned mapping.
     Pinned(VirtAddr),
     /// Address arithmetic overflowed or the range is empty/kernel-reserved.
@@ -113,8 +116,13 @@ pub enum MemError {
 }
 
 impl From<PhysError> for MemError {
-    fn from(_: PhysError) -> Self {
-        MemError::OutOfMemory
+    fn from(e: PhysError) -> Self {
+        // Exhaustive: each physical cause keeps its identity so fault-path
+        // tests (and future compaction logic) can tell them apart.
+        match e {
+            PhysError::OutOfMemory => MemError::OutOfMemory,
+            PhysError::Fragmented => MemError::Fragmented,
+        }
     }
 }
 

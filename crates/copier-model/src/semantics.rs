@@ -268,23 +268,18 @@ impl AsyncState {
         // Execute queued copies before `qi` whose dst overlaps qi's src
         // (RAW) or dst (WAW), recursively — then qi itself.
         let (dst, src, len, _) = self.queue[qi];
-        loop {
-            let dep = self.queue[..qi].iter().position(|&(d, _, l, _)| {
-                (d < src + len && src < d + l) || (d < dst + len && dst < d + l)
-            });
-            match dep {
-                Some(i) => {
-                    self.force_deps(i);
-                    // Indices shifted: recompute qi's position.
-                    return self.force_deps(
-                        self.queue
-                            .iter()
-                            .position(|&(d, s, l, _)| (d, s, l) == (dst, src, len))
-                            .expect("still queued"),
-                    );
-                }
-                None => break,
-            }
+        let dep = self.queue[..qi].iter().position(|&(d, _, l, _)| {
+            (d < src + len && src < d + l) || (d < dst + len && dst < d + l)
+        });
+        if let Some(i) = dep {
+            self.force_deps(i);
+            // Indices shifted: recompute qi's position.
+            return self.force_deps(
+                self.queue
+                    .iter()
+                    .position(|&(d, s, l, _)| (d, s, l) == (dst, src, len))
+                    .expect("still queued"),
+            );
         }
         self.execute_one(qi);
     }

@@ -38,7 +38,7 @@ pub async fn handle_cow_fault(
     region_len: usize,
     use_copier: bool,
 ) -> Result<CowOutcome, MemError> {
-    assert!(va.is_page_aligned() && region_len % PAGE_SIZE == 0);
+    assert!(va.is_page_aligned() && region_len.is_multiple_of(PAGE_SIZE));
     let t0 = os.h.now();
     let pages = region_len / PAGE_SIZE;
     // Fault entry overhead.
@@ -131,16 +131,16 @@ pub async fn handle_cow_fault(
     }
 
     // Swing the PTEs to the private replica and drop the kmaps.
-    for p in 0..pages {
+    for (p, &frame) in new.iter().enumerate().take(pages) {
         proc.space.set_pte(
             va.add(p * PAGE_SIZE),
             Pte {
-                frame: new[p],
+                frame,
                 writable: true,
                 cow: false,
             },
         );
-        os.pm.incref(new[p]); // the PTE's reference
+        os.pm.incref(frame); // the PTE's reference
     }
     // Copier locks mappings while a copy is in flight (§4.5.4); the kernel
     // waits for the pin to drop before tearing down the kmaps.

@@ -345,7 +345,7 @@ impl NetStack {
                 let (frames, work) = proc.space.resolve_and_pin_range(va, len, false)?;
                 core.advance(Nanos(
                     self.os.cost.pte_walk.as_nanos() * frames.len() as u64
-                        + self.os.cost.page_fault.as_nanos() as u64
+                        + self.os.cost.page_fault.as_nanos()
                             * (work.demand_zero + work.cow_copy) as u64,
                 ))
                 .await;

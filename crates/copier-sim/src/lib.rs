@@ -22,6 +22,7 @@
 pub mod cache;
 pub mod cpu;
 pub mod exec;
+pub mod fault;
 pub mod rng;
 pub mod sync;
 pub mod time;
@@ -29,6 +30,7 @@ pub mod time;
 pub use cache::{CacheConfig, CacheModel};
 pub use cpu::{Core, Machine, PowerModel, DEFAULT_QUANTUM};
 pub use exec::{JoinHandle, Sim, SimHandle, TaskId};
+pub use fault::{DmaFault, FaultConfig, FaultLog, FaultPlan};
 pub use rng::SimRng;
 pub use sync::{Chan, Notify};
 pub use time::Nanos;

@@ -9,3 +9,4 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --locked
 cargo test -q --workspace --offline --locked
+cargo clippy --workspace --offline --locked -- -D warnings
