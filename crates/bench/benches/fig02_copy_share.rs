@@ -75,18 +75,24 @@ fn main() {
                 "openssl",
                 format!(
                     "{:.0}%",
-                    stream_share(size.min(16 * 1024), copier_apps::tls::DECRYPT_NS_PER_KB, 800)
-                        * 100.0
+                    stream_share(
+                        size.min(16 * 1024),
+                        copier_apps::tls::DECRYPT_NS_PER_KB,
+                        800
+                    ) * 100.0
                 ),
             ),
             (
                 "proxy",
                 // Three copies, almost no compute: the paper's 66% case.
-                format!("{:.0}%", {
-                    let m = CostModel::default();
-                    let c = 3.0 * m.cpu_copy(CpuCopyKind::Erms, size).as_nanos() as f64;
-                    c / (c + 400.0 + 2.0 * 800.0)
-                } * 100.0),
+                format!(
+                    "{:.0}%",
+                    {
+                        let m = CostModel::default();
+                        let c = 3.0 * m.cpu_copy(CpuCopyKind::Erms, size).as_nanos() as f64;
+                        c / (c + 400.0 + 2.0 * 800.0)
+                    } * 100.0
+                ),
             ),
             (
                 "libpng",

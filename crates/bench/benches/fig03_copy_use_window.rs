@@ -23,11 +23,31 @@ fn main() {
     // Access patterns of the paper's Fig. 3 workloads, taken from the
     // miniature implementations' cost constants.
     let patterns = [
-        Pattern { name: "protobuf", ns_per_kb: 1000 + 50, lead_ns: 800 },
-        Pattern { name: "aes-dec", ns_per_kb: copier_apps::tls::DECRYPT_NS_PER_KB, lead_ns: 800 },
-        Pattern { name: "redis-set", ns_per_kb: 0, lead_ns: 550 },
-        Pattern { name: "deflate", ns_per_kb: copier_apps::zlib::MATCH_NS_PER_KB, lead_ns: 100 },
-        Pattern { name: "png-decode", ns_per_kb: copier_apps::png::UNFILTER_NS_PER_KB, lead_ns: 700 },
+        Pattern {
+            name: "protobuf",
+            ns_per_kb: 1000 + 50,
+            lead_ns: 800,
+        },
+        Pattern {
+            name: "aes-dec",
+            ns_per_kb: copier_apps::tls::DECRYPT_NS_PER_KB,
+            lead_ns: 800,
+        },
+        Pattern {
+            name: "redis-set",
+            ns_per_kb: 0,
+            lead_ns: 550,
+        },
+        Pattern {
+            name: "deflate",
+            ns_per_kb: copier_apps::zlib::MATCH_NS_PER_KB,
+            lead_ns: 100,
+        },
+        Pattern {
+            name: "png-decode",
+            ns_per_kb: copier_apps::png::UNFILTER_NS_PER_KB,
+            lead_ns: 700,
+        },
     ];
     section("Fig 3: Copy-Use window vs copy time at position x (16KB message)");
     for p in patterns {

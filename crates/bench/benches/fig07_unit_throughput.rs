@@ -10,13 +10,27 @@ use copier_hw::{CostModel, CpuCopyKind};
 fn main() {
     let m = CostModel::default();
     section("Fig 7-a: copy-unit throughput (GB/s) vs size");
-    for size in [256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144, 1 << 20] {
+    for size in [
+        256,
+        512,
+        1024,
+        2048,
+        4096,
+        8192,
+        16384,
+        65536,
+        262144,
+        1 << 20,
+    ] {
         let tp = |ns: u64| format!("{:.2}", size as f64 / ns as f64);
         row(&[
             ("size", kb(size)),
             ("avx2", tp(m.cpu_copy(CpuCopyKind::Avx2, size).as_nanos())),
             ("erms", tp(m.cpu_copy(CpuCopyKind::Erms, size).as_nanos())),
-            ("byteloop", tp(m.cpu_copy(CpuCopyKind::ByteLoop, size).as_nanos())),
+            (
+                "byteloop",
+                tp(m.cpu_copy(CpuCopyKind::ByteLoop, size).as_nanos()),
+            ),
             ("dma", tp(m.dma_transfer(size).as_nanos())),
             (
                 "dma+submit",

@@ -71,7 +71,7 @@ fn copier_tput(size: usize, repeat_pct: u64, atcache: bool) -> f64 {
             } else {
                 fresh[i]
             };
-            lib.amemcpy(&core, dst, src, size).await;
+            lib.amemcpy(&core, dst, src, size).await.expect("admitted");
         }
         // Sustained throughput: wait until every submitted copy landed.
         lib.csync_all(&core).await.unwrap();

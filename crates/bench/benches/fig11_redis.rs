@@ -62,9 +62,7 @@ fn run(mode: RedisMode, with_copier: bool, op: Op, value_len: usize) -> (Stats, 
                 rng,
             )
             .await;
-            samples2
-                .borrow_mut()
-                .extend(s.iter().map(|x| x.latency));
+            samples2.borrow_mut().extend(s.iter().map(|x| x.latency));
             let (start, dur) = t_all2.get();
             t_all2.set((start, dur.max(h2.now() - t0)));
             done2.set(done2.get() + 1);

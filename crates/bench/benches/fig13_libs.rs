@@ -119,7 +119,16 @@ fn tls_run(use_copier: bool, total: usize) -> Nanos {
         let mut total_lat = Nanos::ZERO;
         for _ in 0..nrec {
             let (_, lat) = session
-                .ssl_read(&os2, &net, &rcore, &receiver, &rxs, buf, 16 * 1024, use_copier)
+                .ssl_read(
+                    &os2,
+                    &net,
+                    &rcore,
+                    &receiver,
+                    &rxs,
+                    buf,
+                    16 * 1024,
+                    use_copier,
+                )
                 .await
                 .unwrap();
             total_lat += lat;

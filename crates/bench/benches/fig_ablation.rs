@@ -49,11 +49,11 @@ fn pipeline(segment: usize, chunk: usize, submit_cost: Option<Nanos>) -> Nanos {
         let src = space.mmap(len, Prot::RW, true).unwrap();
         let dst = space.mmap(len, Prot::RW, true).unwrap();
         // Warm the service.
-        lib.amemcpy(&core, dst, src, len).await;
+        lib.amemcpy(&core, dst, src, len).await.expect("admitted");
         lib.csync(&core, dst, len).await.unwrap();
         let t0 = h2.now();
         for _ in 0..8 {
-            lib.amemcpy(&core, dst, src, len).await;
+            lib.amemcpy(&core, dst, src, len).await.expect("admitted");
             let mut off = 0;
             while off < len {
                 lib.csync(&core, dst.add(off), chunk.min(len - off))
@@ -75,7 +75,10 @@ fn main() {
     section("Ablation: descriptor segment size (64KB copy, 2KB-chunk pipeline)");
     for segment in [256usize, 1024, 4096, 16384, 65536] {
         let t = pipeline(segment, 2048, None);
-        row(&[("segment", kb(segment)), ("pipeline-latency", format!("{t}"))]);
+        row(&[
+            ("segment", kb(segment)),
+            ("pipeline-latency", format!("{t}")),
+        ]);
     }
 
     section("Ablation: §7 hardware-primitive bound (submission/csync cost → 5ns)");

@@ -53,7 +53,9 @@ fn run(n: usize, use_copier: bool) -> Nanos {
             IoMode::Sync
         };
         let t0 = h2.now();
-        chan.transact(&ccore, &client, buf, len, mode).await.unwrap();
+        chan.transact(&ccore, &client, buf, len, mode)
+            .await
+            .unwrap();
         done.notified().await;
         out2.set(h2.now() - t0);
         if let Some(svc) = os2.copier.borrow().as_ref() {

@@ -43,12 +43,12 @@ fn run(size: usize, window: Nanos, use_copier: bool, kind: CpuCopyKind) -> Nanos
         let src = space.mmap(size, Prot::RW, true).unwrap();
         let dst = space.mmap(size, Prot::RW, true).unwrap();
         // Warm the service (it would be spinning under load).
-        lib.amemcpy(&core, dst, src, size).await;
+        lib.amemcpy(&core, dst, src, size).await.expect("admitted");
         lib.csync(&core, dst, size).await.unwrap();
         let t0 = h2.now();
         for _ in 0..ROUNDS {
             if use_copier {
-                lib.amemcpy(&core, dst, src, size).await;
+                lib.amemcpy(&core, dst, src, size).await.expect("admitted");
                 core.advance(window).await;
                 lib.csync(&core, dst, size).await.unwrap();
             } else {

@@ -44,7 +44,7 @@ fn run(size: usize, use_copier: bool) -> Nanos {
         let mut compute_time = Nanos::ZERO;
         for _ in 0..ROUNDS {
             if use_copier {
-                lib.amemcpy(&core, dst, src, size).await;
+                lib.amemcpy(&core, dst, src, size).await.expect("admitted");
             } else {
                 sync_memcpy(&core, &cost, &space, dst, src, size)
                     .await

@@ -49,10 +49,7 @@ pub fn section(title: &str) {
 
 /// Prints one row of `key = value` pairs, aligned.
 pub fn row(cells: &[(&str, String)]) {
-    let line: Vec<String> = cells
-        .iter()
-        .map(|(k, v)| format!("{k}={v:>10}"))
-        .collect();
+    let line: Vec<String> = cells.iter().map(|(k, v)| format!("{k}={v:>10}")).collect();
     println!("  {}", line.join("  "));
 }
 

@@ -1,10 +1,10 @@
 //! Scratch probe for multi-threaded proxy debugging.
-use std::cell::Cell;
-use std::rc::Rc;
 use copier_apps::proxy::{echo_server, Proxy, ProxyMode};
 use copier_mem::Prot;
 use copier_os::{IoMode, NetStack, Os};
 use copier_sim::{Machine, Nanos, Sim};
+use std::cell::Cell;
+use std::rc::Rc;
 
 fn main() {
     let threads = 2usize;
@@ -21,8 +21,20 @@ fn main() {
     for t in 0..threads {
         let (ctx, prx) = net.socket_pair();
         let (ptx, urx) = net.socket_pair();
-        let fd = if t == 0 { 0 } else { shared.lib().create_queue(1024) };
-        let proxy = Proxy::with_process(&os, &net, ProxyMode::Copier, 512*1024, Rc::clone(&shared), fd).unwrap();
+        let fd = if t == 0 {
+            0
+        } else {
+            shared.lib().create_queue(1024)
+        };
+        let proxy = Proxy::with_process(
+            &os,
+            &net,
+            ProxyMode::Copier,
+            512 * 1024,
+            Rc::clone(&shared),
+            fd,
+        )
+        .unwrap();
         let pcore = os.machine.core(threads + t);
         let h4 = h.clone();
         sim.spawn("proxy", async move {
@@ -38,7 +50,9 @@ fn main() {
             echo_server(Rc::clone(&os2), net2, ucore, urx, msgs, None).await;
             eprintln!("upstream {t} done at {}", h3.now());
             done2.set(done2.get() + 1);
-            if done2.get() == threads { os2.copier().stop(); }
+            if done2.get() == threads {
+                os2.copier().stop();
+            }
         });
         let os3 = Rc::clone(&os);
         let net3 = Rc::clone(&net);
@@ -48,7 +62,9 @@ fn main() {
             let buf = p.space.mmap(len, Prot::RW, true).unwrap();
             p.space.write_bytes(buf, &vec![1u8; len]).unwrap();
             for _ in 0..msgs {
-                net3.send(&ccore, &p, &ctx, buf, len, IoMode::Sync).await.unwrap();
+                net3.send(&ccore, &p, &ctx, buf, len, IoMode::Sync)
+                    .await
+                    .unwrap();
             }
             eprintln!("client {t} sent all");
         });

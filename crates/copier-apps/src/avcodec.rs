@@ -76,7 +76,11 @@ pub async fn play(
         }
         // Frame-buffer copy (the optimized copy).
         if let Some(lib) = &lib {
-            lib.amemcpy(&core, fbuf, inner, frame_len).await;
+            if lib.amemcpy(&core, fbuf, inner, frame_len).await.is_err() {
+                // Overloaded: decode falls back to the synchronous
+                // frame copy (§4.6); the later csync finds nothing pending.
+                sync_memcpy(&core, &os.cost, &proc.space, fbuf, inner, frame_len).await?;
+            }
         } else {
             sync_memcpy(&core, &os.cost, &proc.space, fbuf, inner, frame_len).await?;
         }
@@ -88,7 +92,8 @@ pub async fn play(
         }
         core.advance(RENDER_COST).await;
         let mut sample = [0u8; 16];
-        proc.space.read_bytes(fbuf.add(frame_len / 2), &mut sample)?;
+        proc.space
+            .read_bytes(fbuf.add(frame_len / 2), &mut sample)?;
         assert!(sample.iter().all(|&b| b == pixel), "torn frame");
         checksum = checksum
             .wrapping_mul(1099511628211)
@@ -140,9 +145,17 @@ mod tests {
         let out = Rc::new(std::cell::RefCell::new(None));
         let out2 = Rc::clone(&out);
         sim.spawn("playback", async move {
-            let r = play(Rc::clone(&os2), core, proc, 256 * 1024, frames, use_copier, jitter)
-                .await
-                .unwrap();
+            let r = play(
+                Rc::clone(&os2),
+                core,
+                proc,
+                256 * 1024,
+                frames,
+                use_copier,
+                jitter,
+            )
+            .await
+            .unwrap();
             *out2.borrow_mut() = Some(r);
             if let Some(svc) = os2.copier.borrow().as_ref() {
                 svc.stop();

@@ -105,8 +105,34 @@ impl CachedFile {
         if use_copier {
             let lib = proc.lib();
             let sect = lib.kernel_section(0);
-            sect.submit(core, &proc.space, buf, &os.kspace, self.kva, self.len, None, false)
+            let submitted = sect
+                .submit(
+                    core,
+                    &proc.space,
+                    buf,
+                    &os.kspace,
+                    self.kva,
+                    self.len,
+                    None,
+                    false,
+                )
                 .await;
+            sect.close(core).await;
+            if submitted.is_err() {
+                // Overloaded: the page-cache read degrades to a
+                // synchronous kernel→user copy (§4.6 fallback).
+                sync_copy(
+                    core,
+                    &os.cost,
+                    CpuCopyKind::Erms,
+                    &proc.space,
+                    buf,
+                    &os.kspace,
+                    self.kva,
+                    self.len,
+                )
+                .await?;
+            }
         } else {
             sync_copy(
                 core,
@@ -148,7 +174,8 @@ pub async fn decode_png(
         }
         proc.space
             .read_bytes(buf.add(off), &mut filtered[off..off + stride])?;
-        core.advance(Nanos(stride as u64 * UNFILTER_NS_PER_KB / 1024)).await;
+        core.advance(Nanos(stride as u64 * UNFILTER_NS_PER_KB / 1024))
+            .await;
     }
     Ok((unfilter_rows(&filtered, width), os.h.now() - t0))
 }

@@ -168,10 +168,11 @@ mod tests {
         let out2 = Rc::clone(&out);
         sim.spawn("receiver", async move {
             let buf = receiver.space.mmap(cap, Prot::RW, true).unwrap();
-            let (msg, lat) =
-                recv_and_decode(&os3, &net, &rcore, &receiver, &rx_sock, buf, cap, use_copier)
-                    .await
-                    .unwrap();
+            let (msg, lat) = recv_and_decode(
+                &os3, &net, &rcore, &receiver, &rx_sock, buf, cap, use_copier,
+            )
+            .await
+            .unwrap();
             let ok = msg.fields == fields;
             *out2.borrow_mut() = (lat, ok);
             if let Some(svc) = os3.copier.borrow().as_ref() {

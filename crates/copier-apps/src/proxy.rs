@@ -112,7 +112,14 @@ impl Proxy {
             ProxyMode::Baseline | ProxyMode::Zio(_) => {
                 let (n, _) = self
                     .net
-                    .recv(core, &self.proc, downstream, self.ubuf, self.cap, IoMode::Sync)
+                    .recv(
+                        core,
+                        &self.proc,
+                        downstream,
+                        self.ubuf,
+                        self.cap,
+                        IoMode::Sync,
+                    )
                     .await?;
                 core.advance(ROUTE_COST).await;
                 // Rewrite the header in place (routing metadata).
@@ -123,7 +130,8 @@ impl Proxy {
                 // Reorganize into the output buffer.
                 match &self.mode {
                     ProxyMode::Zio(zio) => {
-                        zio.memcpy(core, &self.proc, self.obuf, self.ubuf, n).await?;
+                        zio.memcpy(core, &self.proc, self.obuf, self.ubuf, n)
+                            .await?;
                     }
                     _ => {
                         sync_memcpy(core, &self.os.cost, space, self.obuf, self.ubuf, n).await?;
@@ -161,7 +169,9 @@ impl Proxy {
                 hdr[0] ^= 0x80;
                 space.write_bytes(self.ubuf, &hdr)?;
                 // Async reorganize (also never executed thanks to
-                // absorption into the send).
+                // absorption into the send). Under overload the lazy
+                // reorganize is simply skipped — it is an optimization
+                // copy, and the send below still carries the bytes.
                 let reorg_d = lib
                     ._amemcpy(
                         core,
@@ -174,7 +184,8 @@ impl Proxy {
                             ..Default::default()
                         },
                     )
-                    .await;
+                    .await
+                    .ok();
                 let done = self
                     .net
                     .send_opts(
@@ -197,7 +208,9 @@ impl Proxy {
                 if let Some(d) = &recv_d {
                     lib.abort_task(core, d, self.fd).await;
                 }
-                lib.abort_task(core, &reorg_d, self.fd).await;
+                if let Some(d) = &reorg_d {
+                    lib.abort_task(core, d, self.fd).await;
+                }
             }
         }
         Ok(())

@@ -219,7 +219,9 @@ impl RedisServer {
         assert_eq!(n, 9 + klen + if op == Op::Set { vlen } else { 0 });
 
         if let Some(lib) = &lib {
-            lib.csync(core, self.io_buf.add(9), klen).await.expect("key");
+            lib.csync(core, self.io_buf.add(9), klen)
+                .await
+                .expect("key");
         }
         let mut key = vec![0u8; klen];
         space.read_bytes(self.io_buf.add(9), &mut key)?;
@@ -246,12 +248,25 @@ impl RedisServer {
                         let dst = self.alloc_value(vlen)?;
                         // Absorbs against the pending (lazy) recv() task:
                         // the service short-circuits kernel → value buffer.
-                        let d = lib.as_ref().unwrap().amemcpy(core, dst, src, vlen).await;
-                        // Once this copy lands, the recv task's value
-                        // segments are pure dead weight — abort them before
-                        // the I/O buffer is reused.
-                        let aborts = self.last_recv.borrow().iter().cloned().collect();
-                        *self.prev.borrow_mut() = Some((d, aborts));
+                        match lib.as_ref().unwrap().amemcpy(core, dst, src, vlen).await {
+                            Ok(d) => {
+                                // Once this copy lands, the recv task's value
+                                // segments are pure dead weight — abort them
+                                // before the I/O buffer is reused.
+                                let aborts = self.last_recv.borrow().iter().cloned().collect();
+                                *self.prev.borrow_mut() = Some((d, aborts));
+                            }
+                            Err(_) => {
+                                // Overloaded: materialize the lazy recv bytes,
+                                // then copy the value synchronously (§4.6).
+                                lib.as_ref()
+                                    .unwrap()
+                                    .csync(core, src, vlen)
+                                    .await
+                                    .expect("value");
+                                sync_memcpy(core, &self.os.cost, space, dst, src, vlen).await?;
+                            }
+                        }
                         dst
                     }
                     _ => {
@@ -272,7 +287,14 @@ impl RedisServer {
                 space.write_bytes(self.out_buf, &2u32.to_le_bytes())?;
                 space.write_bytes(self.out_buf.add(4), b"OK")?;
                 self.net
-                    .send(core, &self.proc, sock, self.out_buf, 6, self.mode.send_mode())
+                    .send(
+                        core,
+                        &self.proc,
+                        sock,
+                        self.out_buf,
+                        6,
+                        self.mode.send_mode(),
+                    )
                     .await?;
             }
             Op::Get => {
@@ -306,7 +328,23 @@ impl RedisServer {
                                 },
                             )
                             .await;
-                        *self.out_pending.borrow_mut() = Some(od);
+                        match od {
+                            Ok(od) => *self.out_pending.borrow_mut() = Some(od),
+                            Err(_) => {
+                                // Overloaded: no mediator to absorb; produce
+                                // the reply bytes synchronously (§4.6).
+                                *self.out_pending.borrow_mut() = None;
+                                sync_memcpy(
+                                    core,
+                                    &self.os.cost,
+                                    space,
+                                    self.out_buf.add(4),
+                                    vva,
+                                    vl,
+                                )
+                                .await?;
+                            }
+                        }
                     }
                     _ => {
                         sync_memcpy(core, &self.os.cost, space, self.out_buf.add(4), vva, vl)
@@ -464,8 +502,18 @@ mod tests {
                 Rc::clone(&rng),
             )
             .await;
-            let g = run_client(os2.clone(), net2, ccore, c_sock, Op::Get, 1, value_len, reqs, rng)
-                .await;
+            let g = run_client(
+                os2.clone(),
+                net2,
+                ccore,
+                c_sock,
+                Op::Get,
+                1,
+                value_len,
+                reqs,
+                rng,
+            )
+            .await;
             out2.borrow_mut().extend(s);
             out2.borrow_mut().extend(g);
             if let Some(svc) = os2.copier.borrow().as_ref() {
@@ -489,10 +537,7 @@ mod tests {
     fn copier_mode_correct_and_faster_for_16k() {
         let (base, _) = run(RedisMode::Baseline, false, 16 * 1024, 6);
         let (cop, _) = run(RedisMode::Copier, true, 16 * 1024, 6);
-        assert!(
-            cop < base,
-            "copier {cop} should beat baseline {base}"
-        );
+        assert!(cop < base, "copier {cop} should beat baseline {base}");
     }
 
     #[test]

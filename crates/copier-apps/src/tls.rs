@@ -124,8 +124,14 @@ impl TlsSession {
             // Real decryption of real bytes (ChaCha20 keystream XOR),
             // charged at the modeled AES-GCM rate. The counter is the
             // 64-byte block index at this offset.
-            chacha20_xor(&self.key, &self.nonce, (off / 64) as u32, &mut chunk[..take]);
-            core.advance(Nanos(take as u64 * DECRYPT_NS_PER_KB / 1024)).await;
+            chacha20_xor(
+                &self.key,
+                &self.nonce,
+                (off / 64) as u32,
+                &mut chunk[..take],
+            );
+            core.advance(Nanos(take as u64 * DECRYPT_NS_PER_KB / 1024))
+                .await;
             proc.space.write_bytes(buf.add(off), &chunk[..take])?;
             off += take;
         }
@@ -150,8 +156,8 @@ mod tests {
         assert_eq!(
             &data[..16],
             &[
-                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd,
-                0x0d, 0x69, 0x81
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+                0x69, 0x81
             ]
         );
         // And it round-trips.
@@ -197,12 +203,11 @@ mod tests {
         let out = Rc::new(RefCell::new((Nanos::ZERO, false)));
         let out2 = Rc::clone(&out);
         sim.spawn("receiver", async move {
-            let buf = receiver
-                .space
-                .mmap(len.max(4096), Prot::RW, true)
-                .unwrap();
+            let buf = receiver.space.mmap(len.max(4096), Prot::RW, true).unwrap();
             let (n, lat) = session
-                .ssl_read(&os2, &net, &rcore, &receiver, &rx_sock, buf, len, use_copier)
+                .ssl_read(
+                    &os2, &net, &rcore, &receiver, &rx_sock, buf, len, use_copier,
+                )
                 .await
                 .unwrap();
             let mut got = vec![0u8; n];

@@ -114,7 +114,10 @@ pub async fn deflate(
     // Prefill block 0.
     let blk0 = BLOCK.min(len);
     if let Some(lib) = &lib {
-        lib.amemcpy(core, wslot(0), input, blk0).await;
+        if lib.amemcpy(core, wslot(0), input, blk0).await.is_err() {
+            // Overloaded: prefill synchronously (§4.6 fallback).
+            sync_memcpy(core, &os.cost, &proc.space, wslot(0), input, blk0).await?;
+        }
     } else {
         sync_memcpy(core, &os.cost, &proc.space, wslot(0), input, blk0).await?;
     }
@@ -126,8 +129,22 @@ pub async fn deflate(
             let noff = (b + 1) * BLOCK;
             let nblk_len = BLOCK.min(len - noff);
             if let Some(lib) = &lib {
-                lib.amemcpy(core, wslot(b + 1), input.add(noff), nblk_len)
-                    .await;
+                if lib
+                    .amemcpy(core, wslot(b + 1), input.add(noff), nblk_len)
+                    .await
+                    .is_err()
+                {
+                    // Overloaded: refill synchronously (§4.6 fallback).
+                    sync_memcpy(
+                        core,
+                        &os.cost,
+                        &proc.space,
+                        wslot(b + 1),
+                        input.add(noff),
+                        nblk_len,
+                    )
+                    .await?;
+                }
             } else {
                 sync_memcpy(
                     core,
@@ -150,7 +167,8 @@ pub async fn deflate(
             }
             proc.space
                 .read_bytes(w.add(done), &mut raw[off + done..off + done + take])?;
-            core.advance(Nanos(take as u64 * MATCH_NS_PER_KB / 1024)).await;
+            core.advance(Nanos(take as u64 * MATCH_NS_PER_KB / 1024))
+                .await;
             done += take;
         }
     }

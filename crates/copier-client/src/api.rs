@@ -8,7 +8,7 @@
 //! Kernel services submit through [`KernelSection`], which plants the
 //! cross-queue barrier tasks of §4.2.1 around each trap.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use copier_core::{
@@ -22,6 +22,27 @@ use crate::pool::DescriptorPool;
 
 /// Result of a csync: `Err` if the copy faulted or was aborted.
 pub type CsyncResult = Result<(), CopyFault>;
+
+/// Why a submission could not be placed. Every submission path ends in
+/// success, a bounded-backoff retry, or one of these — never an unbounded
+/// spin and never a silent drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Nonblocking submission found no credit or ring slot available
+    /// right now; retry after completions return credits.
+    WouldBlock,
+    /// The submission could not be placed even after bounded backoff —
+    /// the service is overloaded (credit pool and ring stayed exhausted).
+    Overloaded,
+}
+
+/// Result of an async-copy submission.
+pub type SubmitResult = Result<Rc<SegDescriptor>, SubmitError>;
+
+/// Submission retry budget: attempts before a path reports `Overloaded`.
+/// Generous — virtual milliseconds of bounded backoff — so transient
+/// bursts ride through, while true overload still surfaces as an error.
+const MAX_SUBMIT_ATTEMPTS: u32 = 32;
 
 struct Tracked {
     space_id: u32,
@@ -93,6 +114,40 @@ impl CopierHandle {
         self.client.create_queue_set(cap)
     }
 
+    /// One bounded-backoff step: wake the service, then spin (early
+    /// attempts, cache-warm) or sleep with exponentially growing slices
+    /// (later attempts) so a blocked submitter never monopolizes its core.
+    async fn backoff(&self, core: &Rc<Core>, attempt: u32) {
+        self.svc.awaken();
+        if attempt < 4 {
+            core.advance(self.spin_step).await;
+        } else {
+            let exp = (attempt - 4).min(10);
+            let ns = (self.spin_step.as_nanos() << exp).min(200_000);
+            self.svc.sim_handle().sleep(Nanos(ns)).await;
+        }
+    }
+
+    /// Acquires a submission credit with bounded backoff. `Err` means the
+    /// pool stayed empty across the whole retry budget — the client is at
+    /// its in-flight quota and the caller must surface `Overloaded`.
+    async fn acquire_credit(&self, core: &Rc<Core>) -> Result<(), SubmitError> {
+        let mut attempt = 0u32;
+        while !self.client.take_credit() {
+            if self.client.dead.get() {
+                // A dead client's credits never refill; the caller's
+                // dead-check right after handles it.
+                return Ok(());
+            }
+            if attempt >= MAX_SUBMIT_ATTEMPTS {
+                return Err(SubmitError::Overloaded);
+            }
+            self.backoff(core, attempt).await;
+            attempt += 1;
+        }
+        Ok(())
+    }
+
     /// High-level async memcpy on the default queues (Table 2).
     pub async fn amemcpy(
         self: &Rc<Self>,
@@ -100,12 +155,49 @@ impl CopierHandle {
         dst: VirtAddr,
         src: VirtAddr,
         len: usize,
-    ) -> Rc<SegDescriptor> {
+    ) -> SubmitResult {
         self._amemcpy(core, dst, src, len, AmemcpyOpts::default())
             .await
     }
 
-    /// Low-level async memcpy with full options (Table 2).
+    /// Nonblocking async memcpy: submits only if a credit and a ring slot
+    /// are available right now, otherwise fails with `WouldBlock` without
+    /// burning any wait time.
+    pub async fn try_amemcpy(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        dst: VirtAddr,
+        src: VirtAddr,
+        len: usize,
+        opts: AmemcpyOpts,
+    ) -> SubmitResult {
+        if !self.client.take_credit() {
+            return Err(SubmitError::WouldBlock);
+        }
+        let (descr, task) = self.build_task(dst, src, len, &opts);
+        core.advance(self.cost.task_submit).await;
+        if self.client.dead.get() {
+            descr.poison(CopyFault::Aborted);
+            self.maybe_track(&opts, &task, &descr);
+            return Ok(descr);
+        }
+        let track_id = task.dst_space.id();
+        let set = self.client.set(opts.fd);
+        if set.uq.copy.push(QueueEntry::Copy(task)).is_err() {
+            self.client.grant_credit();
+            self.svc.awaken();
+            return Err(SubmitError::WouldBlock);
+        }
+        if !opts.untracked {
+            self.track(track_id, dst, len, Rc::clone(&descr));
+        }
+        self.svc.awaken();
+        Ok(descr)
+    }
+
+    /// Low-level async memcpy with full options (Table 2). Blocks at most
+    /// a bounded backoff budget: past it the submission fails with a typed
+    /// [`SubmitError::Overloaded`] instead of spinning forever.
     pub async fn _amemcpy(
         self: &Rc<Self>,
         core: &Rc<Core>,
@@ -113,7 +205,70 @@ impl CopierHandle {
         src: VirtAddr,
         len: usize,
         opts: AmemcpyOpts,
-    ) -> Rc<SegDescriptor> {
+    ) -> SubmitResult {
+        self.acquire_credit(core).await.inspect_err(|_| {
+            if let Some(d) = &opts.descr {
+                d.reset();
+                d.poison(CopyFault::Overloaded);
+            }
+        })?;
+        let (descr, task) = self.build_task(dst, src, len, &opts);
+        let track_id = task.dst_space.id();
+        core.advance(self.cost.task_submit).await;
+        // A reaped (dead) client no longer has a service draining its
+        // rings: fail fast instead of queueing into the void (a real
+        // process would be gone; this path covers exit races in tests).
+        if self.client.dead.get() {
+            descr.poison(CopyFault::Aborted);
+            if !opts.untracked {
+                self.track(track_id, dst, len, Rc::clone(&descr));
+            }
+            return Ok(descr);
+        }
+        // Ring full → bounded exponential backoff, waking the service
+        // each step; exhaustion surfaces as a typed error, with the
+        // consumed credit returned (nothing reached the service).
+        let set = self.client.set(opts.fd);
+        let mut entry = QueueEntry::Copy(task);
+        let mut attempt = 0u32;
+        loop {
+            match set.uq.copy.push(entry) {
+                Ok(()) => break,
+                Err(rejected) => {
+                    entry = rejected.0;
+                    if self.client.dead.get() {
+                        descr.poison(CopyFault::Aborted);
+                        if !opts.untracked {
+                            self.track(track_id, dst, len, Rc::clone(&descr));
+                        }
+                        return Ok(descr);
+                    }
+                    if attempt >= MAX_SUBMIT_ATTEMPTS {
+                        self.client.grant_credit();
+                        descr.poison(CopyFault::Overloaded);
+                        return Err(SubmitError::Overloaded);
+                    }
+                    self.backoff(core, attempt).await;
+                    attempt += 1;
+                }
+            }
+        }
+        if !opts.untracked {
+            self.track(track_id, dst, len, Rc::clone(&descr));
+        }
+        self.svc.awaken();
+        Ok(descr)
+    }
+
+    /// Builds the descriptor and task for a submission (shared by the
+    /// blocking and nonblocking paths).
+    fn build_task(
+        &self,
+        dst: VirtAddr,
+        src: VirtAddr,
+        len: usize,
+        opts: &AmemcpyOpts,
+    ) -> (Rc<SegDescriptor>, CopyTask) {
         assert!(len > 0, "amemcpy of zero bytes");
         let seg = if opts.seg == 0 {
             self.svc.config().segment
@@ -128,59 +283,51 @@ impl CopierHandle {
             }
             None => self.pool.take(len, seg),
         };
-        let dst_space = opts.dst_space.unwrap_or_else(|| Rc::clone(&self.uspace));
-        let src_space = opts.src_space.unwrap_or_else(|| Rc::clone(&self.uspace));
+        let dst_space = opts
+            .dst_space
+            .clone()
+            .unwrap_or_else(|| Rc::clone(&self.uspace));
+        let src_space = opts
+            .src_space
+            .clone()
+            .unwrap_or_else(|| Rc::clone(&self.uspace));
         let task = CopyTask {
-            dst_space: Rc::clone(&dst_space),
+            dst_space,
             dst,
             src_space,
             src,
             len,
             seg,
             descr: Rc::clone(&descr),
-            func: opts.func,
+            func: opts.func.clone(),
             lazy: opts.lazy,
         };
+        (descr, task)
+    }
+
+    /// Tracks a task that terminated client-side (dead-client poison)
+    /// so csync still finds its tombstone.
+    fn maybe_track(&self, opts: &AmemcpyOpts, task: &CopyTask, descr: &Rc<SegDescriptor>) {
         if !opts.untracked {
-            self.track(dst_space.id(), dst, len, Rc::clone(&descr));
+            self.track(task.dst_space.id(), task.dst, task.len, Rc::clone(descr));
         }
-        let set = self.client.set(opts.fd);
-        core.advance(self.cost.task_submit).await;
-        // A reaped (dead) client no longer has a service draining its
-        // rings: fail fast instead of queueing into the void (a real
-        // process would be gone; this path covers exit races in tests).
-        if self.client.dead.get() {
-            descr.poison(CopyFault::Aborted);
-            return descr;
-        }
-        let entry = QueueEntry::Copy(task);
-        // Ring full → spin-retry: the client burns its own cycles until the
-        // service drains a slot (the paper's backpressure behavior).
-        while set.uq.copy.push(entry.clone()).is_err() {
-            if self.client.dead.get() {
-                descr.poison(CopyFault::Aborted);
-                return descr;
-            }
-            self.svc.awaken();
-            core.advance(self.spin_step).await;
-        }
-        self.svc.awaken();
-        descr
     }
 
     /// Async memmove: overlapping ranges are split so no task's source is
-    /// overwritten before it is read (§4.1 footnote 3).
+    /// overwritten before it is read (§4.1 footnote 3). On `Overloaded`
+    /// the already-submitted chunks stay in flight (their descriptors are
+    /// in the tracking table; `csync` over the range finds them).
     pub async fn amemmove(
         self: &Rc<Self>,
         core: &Rc<Core>,
         dst: VirtAddr,
         src: VirtAddr,
         len: usize,
-    ) -> Vec<Rc<SegDescriptor>> {
+    ) -> Result<Vec<Rc<SegDescriptor>>, SubmitError> {
         let (d, s) = (dst.0, src.0);
         let overlap = d < s + len as u64 && s < d + len as u64 && d != s;
         if !overlap {
-            return vec![self.amemcpy(core, dst, src, len).await];
+            return Ok(vec![self.amemcpy(core, dst, src, len).await?]);
         }
         let shift = d.abs_diff(s) as usize;
         // Heavy self-overlap degenerates to many chunks; bounce through a
@@ -189,7 +336,7 @@ impl CopierHandle {
             crate::syncops::sync_memmove(core, &self.cost, &self.uspace, dst, src, len)
                 .await
                 .expect("sync memmove fallback");
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut out = Vec::new();
         if d > s {
@@ -199,7 +346,7 @@ impl CopierHandle {
                 let start = end.saturating_sub(shift);
                 out.push(
                     self.amemcpy(core, dst.add(start), src.add(start), end - start)
-                        .await,
+                        .await?,
                 );
                 end = start;
             }
@@ -209,12 +356,12 @@ impl CopierHandle {
                 let take = shift.min(len - start);
                 out.push(
                     self.amemcpy(core, dst.add(start), src.add(start), take)
-                        .await,
+                        .await?,
                 );
                 start += take;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Registers an externally created copy (e.g. a kernel `recv()` task)
@@ -235,7 +382,12 @@ impl CopierHandle {
 
     /// High-level csync (Table 2): block until `[addr, addr+len)` of prior
     /// async copies is ready for use.
-    pub async fn csync(self: &Rc<Self>, core: &Rc<Core>, addr: VirtAddr, len: usize) -> CsyncResult {
+    pub async fn csync(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        addr: VirtAddr,
+        len: usize,
+    ) -> CsyncResult {
         self.csync_in(core, self.uspace.id(), addr, len, 0).await
     }
 
@@ -327,13 +479,28 @@ impl CopierHandle {
         // descriptor — the client-side blocking cost is real spin time.
         core.advance(self.cost.task_submit).await;
         let set = self.client.set(fd);
-        let _ = set.uq.sync.push(SyncTask {
+        // A full sync ring after bounded retries is benign to give up on:
+        // promotion is an optimization, and the polling loop below still
+        // completes once the copy lands in FIFO order.
+        let mut entry = SyncTask {
             space_id,
             addr,
             len: sync_len,
             abort: false,
             target: None,
-        });
+        };
+        for attempt in 0..4u32 {
+            match set.uq.sync.push(entry) {
+                Ok(()) => break,
+                Err(rejected) => {
+                    entry = rejected.0;
+                    if attempt == 3 {
+                        break;
+                    }
+                    self.backoff(core, attempt).await;
+                }
+            }
+        }
         self.svc.awaken();
         // Spin briefly (the paper's polling wait), then yield the core in
         // slices — on a saturated machine a blocked csync must not starve
@@ -387,23 +554,59 @@ impl CopierHandle {
         result
     }
 
+    /// Pushes a Sync Task with bounded retries; `false` means the sync
+    /// ring stayed full for the whole budget and the request was not
+    /// placed (typed outcome — the caller decides whether to retry).
+    async fn push_sync(&self, core: &Rc<Core>, fd: usize, st: SyncTask) -> bool {
+        let set = self.client.set(fd);
+        let mut entry = st;
+        let mut attempt = 0u32;
+        loop {
+            match set.uq.sync.push(entry) {
+                Ok(()) => {
+                    self.svc.awaken();
+                    return true;
+                }
+                Err(rejected) => {
+                    entry = rejected.0;
+                    if attempt >= 8 {
+                        return false;
+                    }
+                    self.backoff(core, attempt).await;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
     /// Submits an `abort` Sync Task (§4.4) discarding a queued copy.
-    pub async fn abort(self: &Rc<Self>, core: &Rc<Core>, addr: VirtAddr, len: usize) {
-        self.abort_in(core, addr, len, 0).await;
+    /// Returns whether the request was placed; a `false` under overload
+    /// is benign — the copy simply completes normally.
+    pub async fn abort(self: &Rc<Self>, core: &Rc<Core>, addr: VirtAddr, len: usize) -> bool {
+        self.abort_in(core, addr, len, 0).await
     }
 
     /// `abort` against an explicit queue set.
-    pub async fn abort_in(self: &Rc<Self>, core: &Rc<Core>, addr: VirtAddr, len: usize, fd: usize) {
+    pub async fn abort_in(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        addr: VirtAddr,
+        len: usize,
+        fd: usize,
+    ) -> bool {
         core.advance(self.cost.task_submit).await;
-        let set = self.client.set(fd);
-        let _ = set.uq.sync.push(SyncTask {
-            space_id: self.uspace.id(),
-            addr,
-            len,
-            abort: true,
-            target: None,
-        });
-        self.svc.awaken();
+        self.push_sync(
+            core,
+            fd,
+            SyncTask {
+                space_id: self.uspace.id(),
+                addr,
+                len,
+                abort: true,
+                target: None,
+            },
+        )
+        .await
     }
 
     /// `abort` a specific task by its descriptor — immune to buffer reuse
@@ -413,24 +616,38 @@ impl CopierHandle {
         core: &Rc<Core>,
         descr: &Rc<SegDescriptor>,
         fd: usize,
-    ) {
+    ) -> bool {
         core.advance(self.cost.task_submit).await;
-        let set = self.client.set(fd);
-        let _ = set.uq.sync.push(SyncTask {
-            space_id: 0,
-            addr: VirtAddr(0),
-            len: 0,
-            abort: true,
-            target: Some(Rc::clone(descr)),
-        });
-        self.svc.awaken();
+        self.push_sync(
+            core,
+            fd,
+            SyncTask {
+                space_id: 0,
+                addr: VirtAddr(0),
+                len: 0,
+                abort: true,
+                target: Some(Rc::clone(descr)),
+            },
+        )
+        .await
     }
 
-    /// Runs completed UFUNC handlers (Fig. 4 `post_handlers`).
+    /// Runs completed UFUNC handlers (Fig. 4 `post_handlers`). Handlers
+    /// that overflowed the bounded ring are drained first so delivery
+    /// order is preserved (overflow entries are always older).
     pub async fn post_handlers(self: &Rc<Self>, core: &Rc<Core>) -> usize {
         let mut n = 0;
         let sets: Vec<_> = self.client.sets.borrow().iter().cloned().collect();
         for set in sets {
+            loop {
+                let h = set.handler_overflow.borrow_mut().pop_front();
+                let Some(h) = h else { break };
+                if let Handler::UFunc(f) = h {
+                    core.advance(Nanos(60)).await;
+                    f();
+                    n += 1;
+                }
+            }
             while let Some(h) = set.uq.handler.pop() {
                 if let Handler::UFunc(f) = h {
                     core.advance(Nanos(60)).await;
@@ -452,17 +669,48 @@ impl CopierHandle {
     }
 
     /// Opens a kernel submission section for a simulated trap (§4.2.1):
-    /// plants a barrier recording the u-queue position now, and another on
-    /// drop (the return-to-user barrier).
+    /// plants a barrier recording the u-queue position now, and another at
+    /// [`KernelSection::close`] (the return-to-user barrier). If the
+    /// k-ring is full right now, the barrier placement is deferred into
+    /// the section's first `submit`, which can backoff — it must precede
+    /// any of the section's copies, never be dropped.
     pub fn kernel_section(self: &Rc<Self>, fd: usize) -> KernelSection {
         let set = self.client.set(fd);
-        let _ = set.kq.copy.push(QueueEntry::Barrier {
-            peer_pos: set.uq.copy.pushed(),
-        });
+        let placed = set
+            .kq
+            .copy
+            .push(QueueEntry::Barrier {
+                peer_pos: set.uq.copy.pushed(),
+            })
+            .is_ok();
         KernelSection {
             lib: Rc::clone(self),
             fd,
+            open_pending: Cell::new(!placed),
+            closed: Cell::new(false),
         }
+    }
+
+    /// Plants a k-queue barrier with bounded backoff.
+    async fn push_barrier(&self, core: &Rc<Core>, fd: usize) -> Result<(), SubmitError> {
+        let set = self.client.set(fd);
+        for attempt in 0..MAX_SUBMIT_ATTEMPTS {
+            // Recompute the peer position each attempt: it may have moved
+            // while we were backing off.
+            let placed = set
+                .kq
+                .copy
+                .push(QueueEntry::Barrier {
+                    peer_pos: set.uq.copy.pushed(),
+                })
+                .is_ok();
+            if placed {
+                self.svc.awaken();
+                return Ok(());
+            }
+            self.backoff(core, attempt).await;
+        }
+        Err(SubmitError::Overloaded)
     }
 
     /// Binds a descriptor registry to a shared-memory region (Table 2's
@@ -535,11 +783,20 @@ impl ShmBinding {
 pub struct KernelSection {
     lib: Rc<CopierHandle>,
     fd: usize,
+    /// The opening barrier could not be placed at open (full k-ring);
+    /// the first `submit` places it — with backoff — before any copy.
+    open_pending: Cell<bool>,
+    /// `close()` already planted the return-to-user barrier; Drop is a
+    /// no-op.
+    closed: Cell<bool>,
 }
 
 impl KernelSection {
     /// Submits a k-mode Copy Task. The descriptor is drawn from the
-    /// client's pool and tracked so user-side `csync` finds it.
+    /// client's pool and tracked so user-side `csync` finds it. Like
+    /// `_amemcpy`, the submission either lands within the bounded backoff
+    /// budget or fails typed `Overloaded` (descriptor poisoned) — kernel
+    /// callers fall back to a synchronous copy (§4.6).
     #[allow(clippy::too_many_arguments)]
     pub async fn submit(
         &self,
@@ -551,7 +808,15 @@ impl KernelSection {
         len: usize,
         func: Option<Handler>,
         lazy: bool,
-    ) -> Rc<SegDescriptor> {
+    ) -> SubmitResult {
+        if self.open_pending.get() {
+            // The trap-entry barrier must precede the section's copies;
+            // without it k/u merge order is wrong, so it is a hard
+            // prerequisite rather than a best-effort nicety.
+            self.lib.push_barrier(core, self.fd).await?;
+            self.open_pending.set(false);
+        }
+        self.lib.acquire_credit(core).await?;
         let seg = self.lib.svc.config().segment;
         let descr = self.lib.pool.take(len, seg);
         let task = CopyTask {
@@ -565,21 +830,66 @@ impl KernelSection {
             func,
             lazy,
         };
-        self.lib
-            .track(dst_space.id(), dst, len, Rc::clone(&descr));
         core.advance(self.lib.cost.task_submit).await;
+        if self.lib.client.dead.get() {
+            descr.poison(CopyFault::Aborted);
+            self.lib.track(dst_space.id(), dst, len, Rc::clone(&descr));
+            return Ok(descr);
+        }
         let set = self.lib.client.set(self.fd);
-        let _ = set.kq.copy.push(QueueEntry::Copy(task));
+        let mut entry = QueueEntry::Copy(task);
+        let mut attempt = 0u32;
+        loop {
+            match set.kq.copy.push(entry) {
+                Ok(()) => break,
+                Err(rejected) => {
+                    entry = rejected.0;
+                    if attempt >= MAX_SUBMIT_ATTEMPTS {
+                        self.lib.client.grant_credit();
+                        descr.poison(CopyFault::Overloaded);
+                        return Err(SubmitError::Overloaded);
+                    }
+                    self.lib.backoff(core, attempt).await;
+                    attempt += 1;
+                }
+            }
+        }
+        self.lib.track(dst_space.id(), dst, len, Rc::clone(&descr));
         self.lib.svc.awaken();
-        descr
+        Ok(descr)
+    }
+
+    /// Closes the section, planting the return-to-user barrier with
+    /// bounded backoff — the reliable path (Drop can only make a single
+    /// best-effort attempt). Returns whether the barrier was placed.
+    pub async fn close(self, core: &Rc<Core>) -> bool {
+        self.closed.set(true);
+        if self.open_pending.get() {
+            // The opening barrier was never placed and no copy was
+            // submitted: an empty section needs no closing barrier.
+            return true;
+        }
+        self.lib.push_barrier(core, self.fd).await.is_ok()
     }
 }
 
 impl Drop for KernelSection {
     fn drop(&mut self) {
+        if self.closed.get() || self.open_pending.get() {
+            return;
+        }
         let set = self.lib.client.set(self.fd);
-        let _ = set.kq.copy.push(QueueEntry::Barrier {
-            peer_pos: set.uq.copy.pushed(),
-        });
+        // Single best-effort attempt (Drop cannot await a backoff). A
+        // lost closing barrier is recoverable: the next section's opening
+        // barrier re-establishes the merge key, and no pending k-copies
+        // exist outside sections. Callers needing the guarantee use
+        // `close()`.
+        let _placed = set
+            .kq
+            .copy
+            .push(QueueEntry::Barrier {
+                peer_pos: set.uq.copy.pushed(),
+            })
+            .is_ok();
     }
 }

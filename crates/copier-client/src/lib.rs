@@ -10,7 +10,9 @@ pub mod api;
 pub mod pool;
 pub mod syncops;
 
-pub use api::{AmemcpyOpts, CopierHandle, CsyncResult, KernelSection, ShmBinding};
+pub use api::{
+    AmemcpyOpts, CopierHandle, CsyncResult, KernelSection, ShmBinding, SubmitError, SubmitResult,
+};
 pub use pool::DescriptorPool;
 pub use syncops::{sync_copy, sync_memcpy, sync_memmove};
 
@@ -70,7 +72,7 @@ mod e2e {
             let src = space2.mmap(64 * 1024, Prot::RW, true).unwrap();
             let dst = space2.mmap(64 * 1024, Prot::RW, true).unwrap();
             let data = fill_pattern(&space2, src, 64 * 1024, 7);
-            lib.amemcpy(&core, dst, src, 64 * 1024).await;
+            lib.amemcpy(&core, dst, src, 64 * 1024).await.unwrap();
             lib.csync(&core, dst, 64 * 1024).await.unwrap();
             let mut out = vec![0u8; 64 * 1024];
             space2.read_bytes(dst, &mut out).unwrap();
@@ -107,7 +109,7 @@ mod e2e {
                 fill_pattern(&space2, src, len, 3);
                 let t0 = h.now();
                 if async_mode {
-                    lib.amemcpy(&core, dst, src, len).await;
+                    lib.amemcpy(&core, dst, src, len).await.unwrap();
                     core.advance(compute).await; // the Copy-Use window
                     lib.csync(&core, dst, len).await.unwrap();
                 } else {
@@ -153,7 +155,7 @@ mod e2e {
             let src = space2.mmap(len, Prot::RW, true).unwrap();
             let dst = space2.mmap(len, Prot::RW, true).unwrap();
             fill_pattern(&space2, src, len, 9);
-            let d = lib.amemcpy(&core, dst, src, len).await;
+            let d = lib.amemcpy(&core, dst, src, len).await.unwrap();
             lib.csync(&core, dst, 1024).await.unwrap();
             let t_first = h.now();
             assert!(d.range_ready(0, 1024));
@@ -186,8 +188,8 @@ mod e2e {
             let d = space2.mmap(len, Prot::RW, true).unwrap();
             let data = fill_pattern(&space2, s1, len, 5);
             // Submit back-to-back so both sit in the window together.
-            lib.amemcpy(&core, ibuf, s1, len).await;
-            lib.amemcpy(&core, d, ibuf, len).await;
+            lib.amemcpy(&core, ibuf, s1, len).await.unwrap();
+            lib.amemcpy(&core, d, ibuf, len).await.unwrap();
             lib.csync(&core, d, len).await.unwrap();
             let mut out = vec![0u8; len];
             space2.read_bytes(d, &mut out).unwrap();
@@ -222,8 +224,8 @@ mod e2e {
                 lazy: true,
                 ..AmemcpyOpts::default()
             };
-            lib._amemcpy(&core, u, k1, len, opts).await;
-            lib.amemcpy(&core, k2, u, len).await;
+            lib._amemcpy(&core, u, k1, len, opts).await.unwrap();
+            lib.amemcpy(&core, k2, u, len).await.unwrap();
             lib.csync(&core, k2, len).await.unwrap();
             let mut out = vec![0u8; len];
             space2.read_bytes(k2, &mut out).unwrap();
@@ -251,7 +253,7 @@ mod e2e {
             let dst = space2.mmap(4096, Prot::RW, true).unwrap();
             // Source range was never mapped: proactive fault handling must
             // reject it and deliver a simulated SIGSEGV.
-            lib.amemcpy(&core, dst, VirtAddr(0x40), 4096).await;
+            lib.amemcpy(&core, dst, VirtAddr(0x40), 4096).await.unwrap();
             let r = lib.csync(&core, dst, 4096).await;
             assert_eq!(r, Err(CopyFault::Segv));
             assert_eq!(lib.client.signals.borrow().as_slice(), &[CopyFault::Segv]);
@@ -287,7 +289,8 @@ mod e2e {
                     ..AmemcpyOpts::default()
                 },
             )
-            .await;
+            .await
+            .unwrap();
             lib.csync(&core, dst, 4096).await.unwrap();
             let klog4 = Rc::clone(&klog2);
             let uf = Handler::UFunc(Rc::new(move || klog4.borrow_mut().push("ufunc")));
@@ -301,7 +304,8 @@ mod e2e {
                     ..AmemcpyOpts::default()
                 },
             )
-            .await;
+            .await
+            .unwrap();
             lib.csync_all(&core).await.unwrap();
             assert_eq!(*klog2.borrow(), vec!["kfunc", "ufunc"]);
             svc.stop();
@@ -333,9 +337,11 @@ mod e2e {
             {
                 let sect = lib.kernel_section(0);
                 sect.submit(&core, &space2, x, &space2, s, len, None, false)
-                    .await;
+                    .await
+                    .unwrap();
+                sect.close(&core).await;
             }
-            lib.amemcpy(&core, y, x, len).await;
+            lib.amemcpy(&core, y, x, len).await.unwrap();
             lib.csync(&core, y, len).await.unwrap();
             let mut out = vec![0u8; len];
             space2.read_bytes(y, &mut out).unwrap();
@@ -358,7 +364,9 @@ mod e2e {
             let base = space2.mmap(len + 8 * 1024, Prot::RW, true).unwrap();
             let data = fill_pattern(&space2, base, len, 13);
             // Move forward by 8 KB — overlapping.
-            lib.amemmove(&core, base.add(8 * 1024), base, len).await;
+            lib.amemmove(&core, base.add(8 * 1024), base, len)
+                .await
+                .unwrap();
             lib.csync(&core, base.add(8 * 1024), len).await.unwrap();
             let mut out = vec![0u8; len];
             space2.read_bytes(base.add(8 * 1024), &mut out).unwrap();
@@ -390,7 +398,8 @@ mod e2e {
                 fill_pattern(space, src, len, 1);
                 for i in 0..8 {
                     lib.amemcpy(&core_app, dst_area.add(i * len), src, len)
-                        .await;
+                        .await
+                        .unwrap();
                 }
                 bufs.push((Rc::clone(lib), dst_area));
             }

@@ -30,7 +30,12 @@ enum Step {
         len: usize,
     },
     /// Direct write after csync'ing the range (the guideline).
-    Write { b: usize, off: usize, val: u8, len: usize },
+    Write {
+        b: usize,
+        off: usize,
+        val: u8,
+        len: usize,
+    },
     /// csync a range.
     Sync { b: usize, off: usize, len: usize },
 }
@@ -113,7 +118,10 @@ fn run_service(prog: Vec<Step>, cfg: CopierConfig) -> Vec<Vec<u8>> {
     let mut sim = Sim::new();
     let h = sim.handle();
     let machine = Machine::new(&h, 2);
-    let pm = Rc::new(PhysMem::new(4 * NBUF * BUF / 4096 + 64, AllocPolicy::Scattered));
+    let pm = Rc::new(PhysMem::new(
+        4 * NBUF * BUF / 4096 + 64,
+        AllocPolicy::Scattered,
+    ));
     let svc = Copier::new(
         &h,
         Rc::clone(&pm),
@@ -151,7 +159,8 @@ fn run_service(prog: Vec<Step>, cfg: CopierConfig) -> Vec<Vec<u8>> {
                     // plus the service's hazard tracking handles it; the
                     // client only syncs before its own direct accesses.
                     lib.amemcpy(&core, bases[d].add(doff), bases[s].add(soff), len)
-                        .await;
+                        .await
+                        .expect("admitted");
                 }
                 Step::Write { b, off, val, len } => {
                     // Guidelines: csync the destination range (and any
@@ -216,7 +225,10 @@ fn random_programs_match_reference_without_absorption() {
             },
         );
         for b in 0..NBUF {
-            assert_eq!(got[b], expect[b], "seed {seed}: buffer {b} (absorption off)");
+            assert_eq!(
+                got[b], expect[b],
+                "seed {seed}: buffer {b} (absorption off)"
+            );
         }
     }
 }

@@ -16,7 +16,13 @@ fn world(cores: usize, cfg: CopierConfig) -> (Sim, Rc<Machine>, Rc<PhysMem>, Rc<
     let machine = Machine::new(&h, cores);
     let pm = Rc::new(PhysMem::new(65536, AllocPolicy::Scattered));
     let svc_cores = (1..cores).map(|i| machine.core(i)).collect();
-    let svc = Copier::new(&h, Rc::clone(&pm), svc_cores, Rc::new(CostModel::default()), cfg);
+    let svc = Copier::new(
+        &h,
+        Rc::clone(&pm),
+        svc_cores,
+        Rc::new(CostModel::default()),
+        cfg,
+    );
     svc.start();
     (sim, machine, pm, svc)
 }
@@ -47,7 +53,7 @@ fn auto_scaling_adds_threads_under_load_and_sheds_them() {
         let mut dsts = Vec::new();
         for _ in 0..24 {
             let dst = space.mmap(len, Prot::RW, true).unwrap();
-            lib.amemcpy(&core, dst, src, len).await;
+            lib.amemcpy(&core, dst, src, len).await.expect("admitted");
             dsts.push(dst);
             peak2.set(peak2.get().max(svc2.active_threads()));
         }
@@ -57,7 +63,9 @@ fn auto_scaling_adds_threads_under_load_and_sheds_them() {
         }
         // Idle: give the monitor time to shed threads.
         h.sleep(Nanos::from_millis(2)).await;
-        lib.amemcpy(&core, dsts[0], src, 4096).await;
+        lib.amemcpy(&core, dsts[0], src, 4096)
+            .await
+            .expect("admitted");
         lib.csync(&core, dsts[0], 4096).await.unwrap();
         h.sleep(Nanos::from_millis(2)).await;
         svc2.stop();
@@ -104,7 +112,9 @@ fn cgroup_shares_divide_service_bandwidth() {
         }
         for round in 0..16 {
             for (lib, (src, dsts)) in libs.iter().zip(&bufs) {
-                lib.amemcpy(&core, dsts[round], *src, len).await;
+                lib.amemcpy(&core, dsts[round], *src, len)
+                    .await
+                    .expect("admitted");
             }
         }
         // Let the service run for a bounded window, then compare shares.
@@ -149,7 +159,8 @@ fn queue_backpressure_spins_submitter_without_loss() {
         let mut dsts = Vec::new();
         for _ in 0..64 {
             let dst = space.mmap(len, Prot::RW, true).unwrap();
-            lib.amemcpy(&core, dst, src, len).await; // spins when full
+            // Backs off (bounded) when the ring is full, then succeeds.
+            lib.amemcpy(&core, dst, src, len).await.expect("admitted");
             dsts.push(dst);
         }
         lib.csync_all(&core).await.unwrap();
@@ -183,7 +194,7 @@ fn scenario_driven_service_sleeps_until_activated() {
         let src = space.mmap(4096, Prot::RW, true).unwrap();
         let dst = space.mmap(4096, Prot::RW, true).unwrap();
         space.write_bytes(src, b"scenario").unwrap();
-        lib.amemcpy(&core, dst, src, 4096).await;
+        lib.amemcpy(&core, dst, src, 4096).await.expect("admitted");
         // Service inactive: nothing should complete.
         h.sleep(Nanos::from_micros(300)).await;
         assert_eq!(svc2.stats().tasks_completed, 0, "asleep outside scenario");
@@ -210,9 +221,15 @@ fn shm_descr_bind_syncs_by_offset() {
         let src = space.mmap(16 * 1024, Prot::RW, true).unwrap();
         space.write_bytes(src, &vec![0x11; 16 * 1024]).unwrap();
 
-        let d1 = lib.amemcpy(&core, shm, src, 16 * 1024).await;
+        let d1 = lib
+            .amemcpy(&core, shm, src, 16 * 1024)
+            .await
+            .expect("admitted");
         binding.attach(0, 16 * 1024, d1);
-        let d2 = lib.amemcpy(&core, shm.add(32 * 1024), src, 16 * 1024).await;
+        let d2 = lib
+            .amemcpy(&core, shm.add(32 * 1024), src, 16 * 1024)
+            .await
+            .expect("admitted");
         binding.attach(32 * 1024, 16 * 1024, d2);
 
         // Consumer side: sync by region offset, not by descriptor.

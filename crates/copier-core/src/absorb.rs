@@ -125,9 +125,7 @@ pub fn analyze(entry: &PendEntry, earlier: &[Rc<PendEntry>], enabled: bool) -> A
             let e_dst_hi = e_dst_lo + et.len;
             let mut next: Vec<SrcPiece> = Vec::with_capacity(pieces.len());
             for p in pieces {
-                if p.depth >= MAX_ABSORB_DEPTH
-                    || p.space.id() != et.dst_space.id()
-                {
+                if p.depth >= MAX_ABSORB_DEPTH || p.space.id() != et.dst_space.id() {
                     next.push(p);
                     continue;
                 }
@@ -156,9 +154,11 @@ pub fn analyze(entry: &PendEntry, earlier: &[Rc<PendEntry>], enabled: bool) -> A
                 let copied_parts = copied.overlaps(e_rel.0, e_rel.1);
                 let gap_parts = copied.gaps(e_rel.0, e_rel.1);
                 drop(copied);
-                for (s, epart) in copied_parts.iter().map(|r| (true, r)).chain(
-                    gap_parts.iter().map(|r| (false, r)),
-                ) {
+                for (s, epart) in copied_parts
+                    .iter()
+                    .map(|r| (true, r))
+                    .chain(gap_parts.iter().map(|r| (false, r)))
+                {
                     let (es, ee) = *epart;
                     let task_off = p.off + (e_dst_lo + es - p_lo);
                     if s {

@@ -153,6 +153,10 @@ pub struct QueueSet {
     pub pending: RefCell<VecDeque<Rc<PendEntry>>>,
     /// Destinations garbaged by faulted copies (bounded; oldest evicted).
     pub tainted: RefCell<Vec<TaintRange>>,
+    /// Handlers that did not fit the (bounded) handler ring; drained by
+    /// `post_handlers` before the ring so delivery order is preserved.
+    /// Never dropped silently.
+    pub handler_overflow: RefCell<VecDeque<Handler>>,
 }
 
 impl QueueSet {
@@ -166,6 +170,7 @@ impl QueueSet {
             seq: Cell::new(0),
             pending: RefCell::new(VecDeque::new()),
             tainted: RefCell::new(Vec::new()),
+            handler_overflow: RefCell::new(VecDeque::new()),
         })
     }
 
@@ -200,6 +205,19 @@ pub struct Client {
     /// Set by orphan reclamation when the owning process died; the library
     /// side must stop submitting and waiting.
     pub dead: Cell<bool>,
+    /// Submission credits (the quota the service has granted this client).
+    /// libCopier consumes one per copy submission; the service returns one
+    /// on the completion path of each finished task. Shared state mapped
+    /// into the client, like the CSH rings.
+    pub credits: Cell<u64>,
+    /// Credit-pool capacity (== the per-client in-flight task quota).
+    pub credit_cap: Cell<u64>,
+    /// Tasks currently in the service window (admission accounting).
+    pub inflight_tasks: Cell<u64>,
+    /// Bytes currently in the service window (admission accounting).
+    pub inflight_bytes: Cell<u64>,
+    /// Frames currently pinned on this client's behalf.
+    pub pinned: Cell<u64>,
 }
 
 impl Client {
@@ -213,7 +231,40 @@ impl Client {
             cgroup: Cell::new(0),
             signals: RefCell::new(Vec::new()),
             dead: Cell::new(false),
+            credits: Cell::new(cap as u64),
+            credit_cap: Cell::new(cap as u64),
+            inflight_tasks: Cell::new(0),
+            inflight_bytes: Cell::new(0),
+            pinned: Cell::new(0),
         })
+    }
+
+    /// Resizes the credit pool (set by the service at registration from
+    /// its admission quota). Outstanding credits are topped up to the cap.
+    pub fn set_credit_cap(&self, cap: u64) {
+        self.credit_cap.set(cap);
+        self.credits.set(cap);
+    }
+
+    /// Consumes one submission credit; `false` means the pool is empty
+    /// (the client is at its in-flight quota and must back off).
+    pub fn take_credit(&self) -> bool {
+        let c = self.credits.get();
+        if c == 0 {
+            return false;
+        }
+        self.credits.set(c - 1);
+        true
+    }
+
+    /// Returns one credit to the pool, saturating at the cap. Called by
+    /// the service on the completion path (and by the library when a
+    /// submission it took a credit for never reached the ring).
+    pub fn grant_credit(&self) {
+        let c = self.credits.get();
+        if c < self.credit_cap.get() {
+            self.credits.set(c + 1);
+        }
     }
 
     /// The default queue set.
@@ -335,10 +386,7 @@ mod tests {
         let c = Client::new(7, space, 16);
         assert!(!c.has_work(Nanos::ZERO, Nanos::ZERO));
         let set = c.default_set();
-        set.uq
-            .copy
-            .push(QueueEntry::Copy(dummy_task(64)))
-            .unwrap();
+        set.uq.copy.push(QueueEntry::Copy(dummy_task(64))).unwrap();
         assert!(c.has_work(Nanos::ZERO, Nanos::ZERO));
     }
 

@@ -23,6 +23,40 @@ pub enum PollMode {
     ScenarioDriven,
 }
 
+/// Per-client quotas and global watermarks for admission control.
+///
+/// Submissions past quota are rejected with [`crate::CopyFault::Overloaded`]
+/// instead of silently queued; the matching client-side mechanism is the
+/// credit pool carried on the completion path (`copier-client`).
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Per-client in-flight descriptor quota — also the size of the
+    /// client's submission-credit pool.
+    pub max_client_tasks: u64,
+    /// Per-client in-flight byte quota.
+    pub max_client_bytes: u64,
+    /// Per-client pinned-frame quota: past it, the client's tasks are
+    /// deferred (not shed) until completions release pins.
+    pub max_client_pinned: u64,
+    /// Global windowed-byte high watermark: above it the service sheds
+    /// submissions priority-aware (the least-served client is exempt).
+    pub global_high_bytes: u64,
+    /// Global low watermark: shedding stops once the window drains to it.
+    pub global_low_bytes: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_client_tasks: 1024,
+            max_client_bytes: 64 * 1024 * 1024,
+            max_client_pinned: 16 * 1024,
+            global_high_bytes: 256 * 1024 * 1024,
+            global_low_bytes: 192 * 1024 * 1024,
+        }
+    }
+}
+
 /// Tunables of a [`crate::service::Copier`] instance.
 #[derive(Debug, Clone)]
 pub struct CopierConfig {
@@ -62,6 +96,8 @@ pub struct CopierConfig {
     /// burst of submissions land in the same window, enabling e-piggyback
     /// fusing and copy absorption across adjacent tasks (§4.3, §4.4).
     pub aggregation_delay: Nanos,
+    /// Admission-control quotas and watermarks.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for CopierConfig {
@@ -88,6 +124,7 @@ impl Default for CopierConfig {
             drain_cost: Nanos(25),
             wake_latency: Nanos(700),
             aggregation_delay: Nanos(150),
+            admission: AdmissionConfig::default(),
         }
     }
 }

@@ -21,6 +21,10 @@ pub enum CopyFault {
     OutOfMemory,
     /// The task was explicitly aborted (§4.4 `abort` sync task).
     Aborted,
+    /// Admission control rejected the submission: the client was past its
+    /// in-flight quota, or the service shed load above its global
+    /// watermark. Retry after completions return credits.
+    Overloaded,
 }
 
 /// Default segment granularity (bytes).
@@ -106,7 +110,9 @@ impl SegDescriptor {
 
     /// Count of completed segments.
     pub fn ready_segments(&self) -> usize {
-        (0..self.num_segments()).filter(|&i| self.is_marked(i)).count()
+        (0..self.num_segments())
+            .filter(|&i| self.is_marked(i))
+            .count()
     }
 
     /// The byte range covered by segment `idx` (tail segment may be short).

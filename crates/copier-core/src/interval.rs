@@ -96,9 +96,7 @@ impl IntervalSet {
         if start >= end {
             return true;
         }
-        self.ranges
-            .iter()
-            .any(|&(s, e)| s <= start && end <= e)
+        self.ranges.iter().any(|&(s, e)| s <= start && end <= e)
     }
 
     /// Whether `[start, end)` intersects the set at all.

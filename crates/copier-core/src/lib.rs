@@ -29,7 +29,7 @@ pub mod task;
 
 pub use absorb::{AbsorbPlan, SrcPiece, MAX_ABSORB_DEPTH};
 pub use client::{Client, ClientId, PendEntry, QueuePair, QueueSet, TaintRange, DEFAULT_QUEUE_CAP};
-pub use config::{CopierConfig, PollMode};
+pub use config::{AdmissionConfig, CopierConfig, PollMode};
 pub use descriptor::{CopyFault, SegDescriptor, DEFAULT_SEGMENT};
 pub use interval::IntervalSet;
 pub use ring::{Ring, RingFull};

@@ -15,9 +15,17 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-/// Error returned when the ring has no free slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RingFull;
+/// Error returned when the ring has no free slot. Carries the rejected
+/// value back to the producer so no submission path can drop it silently
+/// — the caller either retries, requeues it elsewhere, or surfaces a
+/// typed error.
+pub struct RingFull<T>(pub T);
+
+impl<T> std::fmt::Debug for RingFull<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RingFull(..)")
+    }
+}
 
 struct Slot<T> {
     valid: AtomicBool,
@@ -79,14 +87,14 @@ impl<T> Ring<T> {
         self.head.load(Ordering::Acquire) as u64
     }
 
-    /// Producer: enqueues a value, failing if the ring is full.
-    pub fn push(&self, v: T) -> Result<(), RingFull> {
+    /// Producer: enqueues a value; a full ring returns the value back.
+    pub fn push(&self, v: T) -> Result<(), RingFull<T>> {
         let cap = self.slots.len();
         let mut h = self.head.load(Ordering::Relaxed);
         loop {
             let t = self.tail.load(Ordering::Acquire);
             if h.wrapping_sub(t) >= cap {
-                return Err(RingFull);
+                return Err(RingFull(v));
             }
             match self
                 .head
@@ -158,7 +166,8 @@ mod tests {
         for i in 0..4 {
             r.push(i).unwrap();
         }
-        assert_eq!(r.push(99), Err(RingFull));
+        let rejected = r.push(99).expect_err("full ring must reject");
+        assert_eq!(rejected.0, 99, "rejected value is returned to the caller");
         assert_eq!(r.pop(), Some(0));
         r.push(99).unwrap();
         assert_eq!(r.len(), 4);

@@ -129,9 +129,9 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::task::QueueEntry;
     use crate::descriptor::SegDescriptor;
     use crate::task::CopyTask;
+    use crate::task::QueueEntry;
     use copier_mem::{AddressSpace, AllocPolicy, PhysMem, VirtAddr};
 
     fn client_with_work(id: u32) -> Rc<Client> {

@@ -71,6 +71,17 @@ pub struct CopierStats {
     pub orphans_reclaimed: u64,
     /// Dependent tasks aborted in dependency order after a fault (§4.4).
     pub dependents_aborted: u64,
+    /// Submissions rejected by admission control (quota or watermark).
+    pub admission_rejected: u64,
+    /// Bytes of rejected submissions (the shed offered load).
+    pub shed_bytes: u64,
+    /// Submission credits returned to clients on the completion path.
+    pub credits_granted: u64,
+    /// Tasks served via the degraded synchronous path under memory
+    /// pressure (§4.6 break-even fallback; no pinning, no absorption).
+    pub degraded_sync_copies: u64,
+    /// Transitions of the physical pool into the pressured state.
+    pub pressure_events: u64,
 }
 
 struct Selected {
@@ -101,6 +112,10 @@ pub struct Copier {
     next_client: Cell<ClientId>,
     stats: RefCell<CopierStats>,
     stopping: Cell<bool>,
+    /// Bytes currently admitted into service windows (all clients).
+    global_bytes: Cell<u64>,
+    /// Latched global-watermark shedding state (hysteresis).
+    shedding: Cell<bool>,
 }
 
 impl Copier {
@@ -148,6 +163,8 @@ impl Copier {
             next_client: Cell::new(1),
             stats: RefCell::new(CopierStats::default()),
             stopping: Cell::new(false),
+            global_bytes: Cell::new(0),
+            shedding: Cell::new(false),
         })
     }
 
@@ -179,11 +196,15 @@ impl Copier {
     /// Snapshot of the service statistics.
     pub fn stats(&self) -> CopierStats {
         let mut s = *self.stats.borrow();
-        s.quarantined_channels = self
-            .dispatcher
-            .dma()
-            .map_or(0, |d| d.quarantined() as u64);
+        s.quarantined_channels = self.dispatcher.dma().map_or(0, |d| d.quarantined() as u64);
+        s.pressure_events = self.pm.pressure_events();
         s
+    }
+
+    /// Bytes currently admitted into service windows across all clients
+    /// (the quantity the global watermarks gate).
+    pub fn admitted_bytes(&self) -> u64 {
+        self.global_bytes.get()
     }
 
     /// Resets the statistics.
@@ -197,6 +218,10 @@ impl Copier {
         let id = self.next_client.get();
         self.next_client.set(id + 1);
         let c = Client::new(id, uspace, self.cfg.queue_cap);
+        // The credit pool is the client-visible face of the in-flight task
+        // quota: libCopier consumes one credit per submission, the service
+        // returns one per completion.
+        c.set_credit_cap(self.cfg.admission.max_client_tasks);
         self.clients.borrow_mut().push(Rc::clone(&c));
         c
     }
@@ -231,8 +256,10 @@ impl Copier {
     pub fn start(self: &Rc<Self>) {
         for i in 0..self.cores.len() {
             let me = Rc::clone(self);
-            self.h
-                .spawn(&format!("copier-{i}"), async move { me.thread_loop(i).await });
+            self.h.spawn(
+                &format!("copier-{i}"),
+                async move { me.thread_loop(i).await },
+            );
         }
     }
 
@@ -246,9 +273,7 @@ impl Copier {
             // Auto-scaling park: threads beyond the active count sleep.
             if idx >= self.active_threads.get() {
                 self.parked.set(self.parked.get() + 1);
-                self.wake
-                    .wait_timeout(&self.h, Nanos::from_millis(1))
-                    .await;
+                self.wake.wait_timeout(&self.h, Nanos::from_millis(1)).await;
                 self.parked.set(self.parked.get() - 1);
                 continue;
             }
@@ -294,8 +319,7 @@ impl Copier {
                     // empty") — submissions call copier_awaken.
                     if idle_streak > 4 {
                         self.parked.set(self.parked.get() + 1);
-                        let notified =
-                            self.wake.wait_timeout(&self.h, Nanos::from_millis(5)).await;
+                        let notified = self.wake.wait_timeout(&self.h, Nanos::from_millis(5)).await;
                         self.parked.set(self.parked.get() - 1);
                         if notified {
                             core.advance(self.cfg.wake_latency).await;
@@ -312,7 +336,13 @@ impl Copier {
             .clients
             .borrow()
             .iter()
-            .flat_map(|c| c.sets.borrow().iter().map(|s| s.pending_bytes()).collect::<Vec<_>>())
+            .flat_map(|c| {
+                c.sets
+                    .borrow()
+                    .iter()
+                    .map(|s| s.pending_bytes())
+                    .collect::<Vec<_>>()
+            })
             .sum();
         let active = self.active_threads.get();
         if load > self.cfg.high_load && active < self.cores.len() {
@@ -342,7 +372,7 @@ impl Copier {
         for c in &clients {
             let sets: Vec<Rc<QueueSet>> = c.sets.borrow().iter().cloned().collect();
             for set in sets {
-                drained += self.drain_set(&set);
+                drained += self.drain_set(c, &set);
             }
         }
         if drained > 0 {
@@ -358,7 +388,7 @@ impl Copier {
                 for c in &clients {
                     let sets: Vec<Rc<QueueSet>> = c.sets.borrow().iter().cloned().collect();
                     for set in sets {
-                        more += self.drain_set(&set);
+                        more += self.drain_set(c, &set);
                     }
                 }
                 if more > 0 {
@@ -401,8 +431,11 @@ impl Copier {
         true
     }
 
-    /// Drains one queue set's copy queues into its pending window.
-    fn drain_set(&self, set: &Rc<QueueSet>) -> usize {
+    /// Drains one queue set's copy queues into its pending window,
+    /// applying admission control to every copy task at the drain
+    /// boundary — the backstop for submitters that bypass the library's
+    /// credit pool.
+    fn drain_set(&self, client: &Rc<Client>, set: &Rc<QueueSet>) -> usize {
         let mut n = 0;
         // k-mode first so barrier keys are in place before u entries drain.
         while let Some(e) = set.kq.copy.pop() {
@@ -410,8 +443,12 @@ impl Copier {
             match e {
                 QueueEntry::Barrier { peer_pos } => set.cur_k_key.set(peer_pos),
                 QueueEntry::Copy(t) => {
+                    if !self.admit(client, &t) {
+                        self.shed(client, set, t);
+                        continue;
+                    }
                     let key = (set.cur_k_key.get(), 0u8, bump(&set.seq));
-                    self.push_pending(set, key, t);
+                    self.push_pending(client, set, key, t);
                 }
             }
         }
@@ -420,15 +457,80 @@ impl Copier {
             match e {
                 QueueEntry::Barrier { .. } => {}
                 QueueEntry::Copy(t) => {
+                    if !self.admit(client, &t) {
+                        self.shed(client, set, t);
+                        continue;
+                    }
                     let key = (bump(&set.u_index), 1u8, bump(&set.seq));
-                    self.push_pending(set, key, t);
+                    self.push_pending(client, set, key, t);
                 }
             }
         }
         n
     }
 
-    fn push_pending(&self, set: &Rc<QueueSet>, key: (u64, u8, u64), t: CopyTask) {
+    /// Admission decision for one submission. Per-client quotas are
+    /// unconditional. The global byte watermark sheds with hysteresis
+    /// (latched above `global_high_bytes`, released below
+    /// `global_low_bytes`) and is priority-aware: the least-served live
+    /// client — the one the copied-length scheduler would favor — is
+    /// exempt, so overload never starves a light tenant.
+    fn admit(&self, client: &Rc<Client>, t: &CopyTask) -> bool {
+        let q = &self.cfg.admission;
+        if client.inflight_tasks.get() >= q.max_client_tasks {
+            return false;
+        }
+        if client.inflight_bytes.get().saturating_add(t.len as u64) > q.max_client_bytes {
+            return false;
+        }
+        let g = self.global_bytes.get();
+        if self.shedding.get() {
+            if g <= q.global_low_bytes {
+                self.shedding.set(false);
+            }
+        } else if g >= q.global_high_bytes {
+            self.shedding.set(true);
+        }
+        !self.shedding.get() || self.least_served(client)
+    }
+
+    /// Whether `client` is (tied for) the least-served live client — the
+    /// same yardstick as [`Scheduler::pick`]'s fairness order. The
+    /// exemption is strict: under a symmetric overload every tenant takes
+    /// its turn at the minimum, so shedding rotates fairly instead of
+    /// exempting the whole band and never shedding at all.
+    fn least_served(&self, client: &Rc<Client>) -> bool {
+        let min = self
+            .clients
+            .borrow()
+            .iter()
+            .filter(|c| !c.dead.get())
+            .map(|c| c.copied_total.get())
+            .min()
+            .unwrap_or(0);
+        client.copied_total.get() <= min
+    }
+
+    /// Rejects a submission: the descriptor is poisoned `Overloaded` (a
+    /// typed, observable outcome — never a silent drop), the completion
+    /// handler still runs, and the client's submission credit returns so
+    /// its pool reflects true in-flight depth.
+    fn shed(&self, client: &Rc<Client>, set: &Rc<QueueSet>, t: CopyTask) {
+        t.descr.poison(CopyFault::Overloaded);
+        self.deliver_handler(set, &t);
+        client.grant_credit();
+        let mut st = self.stats.borrow_mut();
+        st.admission_rejected += 1;
+        st.shed_bytes += t.len as u64;
+    }
+
+    fn push_pending(
+        &self,
+        client: &Rc<Client>,
+        set: &Rc<QueueSet>,
+        key: (u64, u8, u64),
+        t: CopyTask,
+    ) {
         // Dependency cascade across rounds (§4.4): a task sourcing from a
         // range a faulted producer never wrote would read garbage — fail it
         // up front with the producer's fault instead of letting absorption
@@ -443,6 +545,9 @@ impl Copier {
         if let Some(fault) = hit {
             t.descr.poison(fault);
             self.deliver_handler(set, &t);
+            // No window entry exists to finalize, so the submission credit
+            // comes back here instead of on the completion path.
+            client.grant_credit();
             let (dsp, dlo, dhi) = t.dst_range();
             self.remember_taint(set, dsp, dlo, dhi, fault);
             let mut st = self.stats.borrow_mut();
@@ -472,6 +577,7 @@ impl Copier {
             pins: RefCell::new(Vec::new()),
             finalized: Cell::new(false),
         });
+        let len = entry.task.len as u64;
         let mut pending = set.pending.borrow_mut();
         // Insert sorted by key; keys are usually increasing, so scan from
         // the back.
@@ -481,6 +587,10 @@ impl Copier {
             .map(|i| i + 1)
             .unwrap_or(0);
         pending.insert(pos, entry);
+        // Admission accounting: the task now occupies window capacity.
+        client.inflight_tasks.set(client.inflight_tasks.get() + 1);
+        client.inflight_bytes.set(client.inflight_bytes.get() + len);
+        self.global_bytes.set(self.global_bytes.get() + len);
     }
 
     /// Serves one Sync Task: promotion (with dependency closure) or abort.
@@ -562,6 +672,16 @@ impl Copier {
 
     /// Selects a batch of runnable, mutually independent tasks.
     fn select_batch(&self, client: &Rc<Client>, now: Nanos) -> Vec<Selected> {
+        // Pinned-frame quota: past it the client's work is *deferred*
+        // (left in the window for a later round), not shed — completions
+        // release pins and the backlog drains without failing anything.
+        if client.pinned.get() >= self.cfg.admission.max_client_pinned {
+            return Vec::new();
+        }
+        // Under memory pressure absorption is off: absorbed obligations
+        // hold their producer's window entry (and pins) alive longer,
+        // exactly what a pressured pool cannot afford (§4.6 fallback).
+        let absorption = self.cfg.absorption && !self.pm.pressure();
         let budget = self.sched.copy_slice();
         let mut out: Vec<Selected> = Vec::new();
         let mut bytes = 0usize;
@@ -591,7 +711,7 @@ impl Copier {
                     earlier.push(Rc::clone(e));
                     continue;
                 }
-                let plan = absorb::analyze(e, &earlier, self.cfg.absorption);
+                let plan = absorb::analyze(e, &earlier, absorption);
                 if plan.blocked {
                     // Push the blockers through first; retry next round. A
                     // promoted entry transfers its priority to its blockers
@@ -664,9 +784,8 @@ impl Copier {
         let pages = len.div_ceil(PAGE_SIZE).max(1) as u64;
         // Sequential walks over one range share PT cache lines (8 PTEs per
         // line): the first walk pays full price, the rest a quarter.
-        let walk_cost = Nanos(
-            self.cost.pte_walk.as_nanos() + (pages - 1) * self.cost.pte_walk.as_nanos() / 4,
-        );
+        let walk_cost =
+            Nanos(self.cost.pte_walk.as_nanos() + (pages - 1) * self.cost.pte_walk.as_nanos() / 4);
         match space.resolve_and_pin_range(va, len, write) {
             Ok((frames, work)) => {
                 // Charge the walk and any proactive fault handling.
@@ -678,9 +797,7 @@ impl Copier {
                 }
                 core.advance(cost).await;
                 self.stats.borrow_mut().proactive_faults += faults;
-                let extents = space
-                    .extents(va, len)
-                    .expect("extents exist after resolve");
+                let extents = space.extents(va, len).expect("extents exist after resolve");
                 self.atcache.insert(space, va, len, extents.clone());
                 Ok((extents, frames))
             }
@@ -697,6 +814,10 @@ impl Copier {
     /// Plans, dispatches, and completes a selected batch.
     async fn execute(self: &Rc<Self>, core: &Rc<Core>, client: &Rc<Client>, sel: Vec<Selected>) {
         let now = self.h.now();
+        if self.pm.pressure() {
+            self.execute_degraded(core, client, &sel, now).await;
+            return;
+        }
         let mut planned: Vec<PlannedCopy> = Vec::new();
         let mut by_tid: BTreeMap<TaskId, Rc<PendEntry>> = BTreeMap::new();
         let mut live: Vec<&Selected> = Vec::new();
@@ -712,7 +833,7 @@ impl Copier {
             if gaps.is_empty() {
                 continue;
             }
-            match self.plan_entry(core, e, &s.plan, &gaps).await {
+            match self.plan_entry(core, client, e, &s.plan, &gaps).await {
                 Ok(pc) => {
                     let deferred_exec: usize = {
                         let d = e.deferred.borrow();
@@ -740,7 +861,7 @@ impl Copier {
                     e.task.descr.poison(fault);
                     client.signals.borrow_mut().push(fault);
                     self.stats.borrow_mut().faults += 1;
-                    self.finalize(&s.set, e);
+                    self.finalize(client, &s.set, e);
                     self.cascade_fault(&s.set, client, e, fault);
                 }
             }
@@ -754,7 +875,10 @@ impl Copier {
                     mark_progress(e, off, len);
                 }
             });
-            let report = self.dispatcher.execute_batch(core, &planned, progress).await;
+            let report = self
+                .dispatcher
+                .execute_batch(core, &planned, progress)
+                .await;
             {
                 let mut st = self.stats.borrow_mut();
                 st.bytes_copied += (report.cpu_bytes + report.dma_bytes) as u64;
@@ -773,15 +897,125 @@ impl Copier {
         // Completion pass.
         for s in sel.iter() {
             if s.entry.finished() {
-                self.finalize(&s.set, &s.entry);
+                self.finalize(client, &s.set, &s.entry);
             }
         }
+    }
+
+    /// Executes a selected batch synchronously under memory pressure —
+    /// the §4.6 break-even fallback. No pinning, no ATCache refill, no
+    /// DMA: each gap is resolved and copied page by page with the kernel
+    /// ERMS copier, so a pressured pool is never asked to hold more
+    /// frames. Recovery is automatic: once allocations fall below the low
+    /// watermark, [`PhysMem::pressure`] clears and the next round takes
+    /// the pinned asynchronous path again.
+    async fn execute_degraded(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        client: &Rc<Client>,
+        sel: &[Selected],
+        now: Nanos,
+    ) {
+        let mut degraded_bytes = 0usize;
+        for s in sel {
+            let e = &s.entry;
+            if e.finished() {
+                continue;
+            }
+            let force = e.promoted.get() || now >= e.defer_until.get();
+            let gaps = truncate_gaps(e.executable_gaps(force), s.cap);
+            if gaps.is_empty() {
+                continue;
+            }
+            match self.degraded_copy(core, e, &s.plan, &gaps).await {
+                Ok(copied) => {
+                    degraded_bytes += copied;
+                    let mut st = self.stats.borrow_mut();
+                    st.degraded_sync_copies += 1;
+                    st.bytes_copied += copied as u64;
+                }
+                Err(fault) => {
+                    e.failed.set(Some(fault));
+                    e.task.descr.poison(fault);
+                    client.signals.borrow_mut().push(fault);
+                    self.stats.borrow_mut().faults += 1;
+                    self.finalize(client, &s.set, e);
+                    self.cascade_fault(&s.set, client, e, fault);
+                }
+            }
+        }
+        if degraded_bytes > 0 {
+            self.sched.charge(client, degraded_bytes);
+        }
+        for s in sel {
+            if s.entry.finished() {
+                self.finalize(client, &s.set, &s.entry);
+            }
+        }
+    }
+
+    /// One entry's gaps, copied synchronously page by page. Pages are
+    /// resolved (faulting on demand, cost-charged) but never pinned, and
+    /// the data moves through [`PhysMem::copy`] under the ERMS cost curve
+    /// — slower per byte and paying per-page startup, which is exactly
+    /// the break-even trade the paper's §4.6 fallback makes.
+    async fn degraded_copy(
+        &self,
+        core: &Rc<Core>,
+        e: &Rc<PendEntry>,
+        plan: &AbsorbPlan,
+        gaps: &[(usize, usize)],
+    ) -> Result<usize, CopyFault> {
+        let t = &e.task;
+        let mut copied = 0usize;
+        for &(glo, ghi) in gaps {
+            e.deferred.borrow_mut().remove(glo, ghi);
+            for p in &plan.pieces {
+                let lo = glo.max(p.off);
+                let hi = ghi.min(p.off + p.len);
+                if lo >= hi {
+                    continue;
+                }
+                let mut off = lo;
+                while off < hi {
+                    let dst_va = t.dst.add(off);
+                    let src_va = p.va.add(off - p.off);
+                    let take = (hi - off)
+                        .min(PAGE_SIZE - dst_va.page_off())
+                        .min(PAGE_SIZE - src_va.page_off());
+                    let (df, dw) = t.dst_space.resolve(dst_va, true).map_err(mem_fault)?;
+                    let (sf, sw) = p.space.resolve(src_va, false).map_err(mem_fault)?;
+                    let faults = (dw.demand_zero
+                        + dw.cow_remap
+                        + dw.cow_copy
+                        + sw.demand_zero
+                        + sw.cow_remap
+                        + sw.cow_copy) as u64;
+                    let mut cost = self.cost.cpu_copy(CpuCopyKind::Erms, take);
+                    cost += Nanos(self.cost.pte_walk.as_nanos() * (dw.walks + sw.walks) as u64);
+                    cost += Nanos(self.cost.page_fault.as_nanos() * faults);
+                    if dw.bytes_copied + sw.bytes_copied > 0 {
+                        cost += self
+                            .cost
+                            .cpu_copy(CpuCopyKind::Avx2, dw.bytes_copied + sw.bytes_copied);
+                    }
+                    core.advance(cost).await;
+                    self.pm
+                        .copy(df, dst_va.page_off(), sf, src_va.page_off(), take);
+                    mark_progress(e, off, take);
+                    copied += take;
+                    off += take;
+                }
+            }
+        }
+        Ok(copied)
     }
 
     /// Builds the hardware plan for one entry's executable gaps.
     async fn plan_entry(
         &self,
         core: &Rc<Core>,
+        client: &Rc<Client>,
         e: &Rc<PendEntry>,
         plan: &AbsorbPlan,
         gaps: &[(usize, usize)],
@@ -790,6 +1024,9 @@ impl Copier {
         let (dst_ex, dst_frames) = self
             .translate_pin(core, &t.dst_space, t.dst, t.len, true)
             .await?;
+        client
+            .pinned
+            .set(client.pinned.get() + dst_frames.len() as u64);
         e.pins
             .borrow_mut()
             .push((Rc::clone(&t.dst_space), dst_frames));
@@ -805,9 +1042,10 @@ impl Copier {
                 let (src_ex, src_frames) = self
                     .translate_pin(core, &p.space, src_va, hi - lo, false)
                     .await?;
-                e.pins
-                    .borrow_mut()
-                    .push((Rc::clone(&p.space), src_frames));
+                client
+                    .pinned
+                    .set(client.pinned.get() + src_frames.len() as u64);
+                e.pins.borrow_mut().push((Rc::clone(&p.space), src_frames));
                 let dst_slice = slice_extents(&dst_ex, lo, hi - lo);
                 for mut st in split_subtasks(&dst_slice, &src_ex) {
                     st.task_off += lo;
@@ -827,13 +1065,33 @@ impl Copier {
     /// only the first caller runs the handler; pins drain on every call
     /// (a planner racing an orphan sweep may append pins to an
     /// already-finalized entry, and those must still be released).
-    fn finalize(&self, set: &Rc<QueueSet>, e: &Rc<PendEntry>) {
+    fn finalize(&self, client: &Rc<Client>, set: &Rc<QueueSet>, e: &Rc<PendEntry>) {
+        let mut unpinned = 0u64;
         for (space, frames) in e.pins.borrow_mut().drain(..) {
+            unpinned += frames.len() as u64;
             space.unpin_frames(&frames);
         }
+        client
+            .pinned
+            .set(client.pinned.get().saturating_sub(unpinned));
         if e.finalized.replace(true) {
             return;
         }
+        // Return the task's admission share and its submission credit —
+        // the completion ring is where backpressure unwinds.
+        client
+            .inflight_tasks
+            .set(client.inflight_tasks.get().saturating_sub(1));
+        client.inflight_bytes.set(
+            client
+                .inflight_bytes
+                .get()
+                .saturating_sub(e.task.len as u64),
+        );
+        self.global_bytes
+            .set(self.global_bytes.get().saturating_sub(e.task.len as u64));
+        client.grant_credit();
+        self.stats.borrow_mut().credits_granted += 1;
         // Handlers run for failed and aborted tasks too: the completion
         // callback observes the outcome through the poisoned descriptor
         // instead of being silently dropped.
@@ -851,8 +1109,12 @@ impl Copier {
                 Handler::KFunc(f) => f(),
                 Handler::UFunc(f) => {
                     // Deliver to the client's handler queue; libCopier
-                    // runs it in post_handlers().
-                    let _ = set.uq.handler.push(Handler::UFunc(Rc::clone(f)));
+                    // runs it in post_handlers(). A full ring spills into
+                    // the unbounded overflow list (drained first by
+                    // post_handlers) — handlers are never dropped.
+                    if let Err(rejected) = set.uq.handler.push(Handler::UFunc(Rc::clone(f))) {
+                        set.handler_overflow.borrow_mut().push_back(rejected.0);
+                    }
                 }
             }
         }
@@ -912,7 +1174,7 @@ impl Copier {
             }
         }
         for p in &killed {
-            self.finalize(set, p);
+            self.finalize(client, set, p);
         }
         for (sp, lo, hi) in tainted {
             self.remember_taint(set, sp, lo, hi, fault);
@@ -948,10 +1210,23 @@ impl Copier {
                     p.task.descr.poison(CopyFault::Aborted);
                     reclaimed += 1;
                 }
-                self.finalize(set, p);
+                self.finalize(client, set, p);
             }
             set.tainted.borrow_mut().clear();
+            set.handler_overflow.borrow_mut().clear();
         }
+        // Return every admission resource the client still held: quota
+        // bytes leave the global window, counters zero, and the credit
+        // pool refills so nothing leaks across client generations.
+        self.global_bytes.set(
+            self.global_bytes
+                .get()
+                .saturating_sub(client.inflight_bytes.get()),
+        );
+        client.inflight_tasks.set(0);
+        client.inflight_bytes.set(0);
+        client.pinned.set(0);
+        client.credits.set(client.credit_cap.get());
         self.clients.borrow_mut().retain(|c| !Rc::ptr_eq(c, client));
         self.stats.borrow_mut().orphans_reclaimed += reclaimed;
         reclaimed
@@ -977,6 +1252,14 @@ fn bump(c: &Cell<u64>) -> u64 {
     let v = c.get();
     c.set(v + 1);
     v
+}
+
+/// Maps a memory-subsystem error to the fault surfaced through `csync`.
+fn mem_fault(e: MemError) -> CopyFault {
+    match e {
+        MemError::OutOfMemory | MemError::Fragmented => CopyFault::OutOfMemory,
+        _ => CopyFault::Segv,
+    }
 }
 
 /// Records landed bytes and flips fully covered descriptor segments.

@@ -80,12 +80,20 @@ impl std::fmt::Debug for CopyTask {
 impl CopyTask {
     /// The destination byte range as `(space, start, end)`.
     pub fn dst_range(&self) -> (u32, u64, u64) {
-        (self.dst_space.id(), self.dst.0, self.dst.0 + self.len as u64)
+        (
+            self.dst_space.id(),
+            self.dst.0,
+            self.dst.0 + self.len as u64,
+        )
     }
 
     /// The source byte range as `(space, start, end)`.
     pub fn src_range(&self) -> (u32, u64, u64) {
-        (self.src_space.id(), self.src.0, self.src.0 + self.len as u64)
+        (
+            self.src_space.id(),
+            self.src.0,
+            self.src.0 + self.len as u64,
+        )
     }
 }
 

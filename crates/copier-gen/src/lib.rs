@@ -79,9 +79,9 @@ pub fn insert_csync(ir: &[Inst]) -> Vec<Inst> {
     let mut pending_dst: BTreeMap<Var, usize> = BTreeMap::new();
     let mut pending_src: BTreeMap<Var, usize> = BTreeMap::new();
     let sync = |out: &mut Vec<Inst>,
-                    pending_dst: &mut BTreeMap<Var, usize>,
-                    pending_src: &mut BTreeMap<Var, usize>,
-                    v: &Var| {
+                pending_dst: &mut BTreeMap<Var, usize>,
+                pending_src: &mut BTreeMap<Var, usize>,
+                v: &Var| {
         if let Some(len) = pending_dst.remove(v) {
             out.push(Inst::Csync { v: v.clone(), len });
         }
@@ -98,7 +98,10 @@ pub fn insert_csync(ir: &[Inst]) -> Vec<Inst> {
             // conservative: sync all pending.
             let all: Vec<(Var, usize)> = pending_dst.iter().map(|(k, &l)| (k.clone(), l)).collect();
             for (d, l) in all {
-                out.push(Inst::Csync { v: d.clone(), len: l });
+                out.push(Inst::Csync {
+                    v: d.clone(),
+                    len: l,
+                });
                 pending_dst.remove(&d);
             }
         }
@@ -156,24 +159,25 @@ pub fn interpret(ir: &[Inst], async_mode: bool) -> Run {
     let mut bufs: BTreeMap<Var, Vec<u8>> = BTreeMap::new();
     let mut pending: Vec<(Var, Var, usize)> = Vec::new();
     let mut loads = Vec::new();
-    let flush = |bufs: &mut BTreeMap<Var, Vec<u8>>, pending: &mut Vec<(Var, Var, usize)>, v: &Var| {
-        // Execute pending copies targeting v (and, transitively, their
-        // sources' producers — FIFO order suffices for chains).
-        loop {
-            let i = pending.iter().position(|(d, _, _)| d == v);
-            match i {
-                Some(i) => {
-                    // Execute everything up to and including i, in order
-                    // (FIFO preserves chain correctness).
-                    for (d, s, l) in pending.drain(..=i).collect::<Vec<_>>() {
-                        let data: Vec<u8> = bufs[&s][..l].to_vec();
-                        bufs.get_mut(&d).unwrap()[..l].copy_from_slice(&data);
+    let flush =
+        |bufs: &mut BTreeMap<Var, Vec<u8>>, pending: &mut Vec<(Var, Var, usize)>, v: &Var| {
+            // Execute pending copies targeting v (and, transitively, their
+            // sources' producers — FIFO order suffices for chains).
+            loop {
+                let i = pending.iter().position(|(d, _, _)| d == v);
+                match i {
+                    Some(i) => {
+                        // Execute everything up to and including i, in order
+                        // (FIFO preserves chain correctness).
+                        for (d, s, l) in pending.drain(..=i).collect::<Vec<_>>() {
+                            let data: Vec<u8> = bufs[&s][..l].to_vec();
+                            bufs.get_mut(&d).unwrap()[..l].copy_from_slice(&data);
+                        }
                     }
+                    None => break,
                 }
-                None => break,
             }
-        }
-    };
+        };
     for inst in ir {
         match inst {
             Inst::Alloc { v, n } => {
@@ -223,8 +227,16 @@ mod tests {
         let ir = vec![
             Inst::Alloc { v: v("a"), n: 8 },
             Inst::Alloc { v: v("b"), n: 8 },
-            Inst::Store { v: v("a"), idx: 0, val: 5 },
-            Inst::Copy { dst: v("b"), src: v("a"), len: 8 },
+            Inst::Store {
+                v: v("a"),
+                idx: 0,
+                val: 5,
+            },
+            Inst::Copy {
+                dst: v("b"),
+                src: v("a"),
+                len: 8,
+            },
             Inst::Load { v: v("b"), idx: 0 },
         ];
         let out = insert_csync(&ir);
@@ -244,9 +256,17 @@ mod tests {
         let ir = vec![
             Inst::Alloc { v: v("a"), n: 4 },
             Inst::Alloc { v: v("b"), n: 4 },
-            Inst::Copy { dst: v("b"), src: v("a"), len: 4 },
+            Inst::Copy {
+                dst: v("b"),
+                src: v("a"),
+                len: 4,
+            },
             Inst::Call { v: v("b") },
-            Inst::Copy { dst: v("b"), src: v("a"), len: 4 },
+            Inst::Copy {
+                dst: v("b"),
+                src: v("a"),
+                len: 4,
+            },
             Inst::Free { v: v("b") },
         ];
         let out = insert_csync(&ir);
@@ -264,11 +284,31 @@ mod tests {
             Inst::Alloc { v: v("a"), n: 8 },
             Inst::Alloc { v: v("b"), n: 8 },
             Inst::Alloc { v: v("c"), n: 8 },
-            Inst::Store { v: v("a"), idx: 0, val: 1 },
-            Inst::Store { v: v("a"), idx: 1, val: 2 },
-            Inst::Copy { dst: v("b"), src: v("a"), len: 8 },
-            Inst::Store { v: v("b"), idx: 0, val: 99 },
-            Inst::Copy { dst: v("c"), src: v("b"), len: 8 },
+            Inst::Store {
+                v: v("a"),
+                idx: 0,
+                val: 1,
+            },
+            Inst::Store {
+                v: v("a"),
+                idx: 1,
+                val: 2,
+            },
+            Inst::Copy {
+                dst: v("b"),
+                src: v("a"),
+                len: 8,
+            },
+            Inst::Store {
+                v: v("b"),
+                idx: 0,
+                val: 99,
+            },
+            Inst::Copy {
+                dst: v("c"),
+                src: v("b"),
+                len: 8,
+            },
             Inst::Load { v: v("c"), idx: 0 },
             Inst::Load { v: v("c"), idx: 1 },
         ];
@@ -285,8 +325,16 @@ mod tests {
         let ir = vec![
             Inst::Alloc { v: v("a"), n: 4 },
             Inst::Alloc { v: v("b"), n: 4 },
-            Inst::Store { v: v("a"), idx: 0, val: 7 },
-            Inst::Copy { dst: v("b"), src: v("a"), len: 4 },
+            Inst::Store {
+                v: v("a"),
+                idx: 0,
+                val: 7,
+            },
+            Inst::Copy {
+                dst: v("b"),
+                src: v("a"),
+                len: 4,
+            },
             Inst::Load { v: v("b"), idx: 0 },
         ];
         let sync = interpret(&ir, false);

@@ -89,14 +89,15 @@ impl ATCache {
         let key = (asp.id(), va.0, len);
         let mut map = self.map.borrow_mut();
         let mut order = self.order.borrow_mut();
-        if map.insert(
-            key,
-            Entry {
-                generation: asp.generation(),
-                extents,
-            },
-        )
-        .is_none()
+        if map
+            .insert(
+                key,
+                Entry {
+                    generation: asp.generation(),
+                    extents,
+                },
+            )
+            .is_none()
         {
             order.push_back(key);
             while map.len() > self.capacity {

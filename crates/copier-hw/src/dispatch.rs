@@ -274,10 +274,8 @@ impl Dispatcher {
                     {
                         attempts += 1;
                         report.retries += 1;
-                        let backoff = Nanos(
-                            self.cost.dma_retry_backoff.as_nanos()
-                                << (attempts - 1).min(16),
-                        );
+                        let backoff =
+                            Nanos(self.cost.dma_retry_backoff.as_nanos() << (attempts - 1).min(16));
                         core.advance(backoff).await;
                         core.advance(self.cost.dma_submit).await;
                         let p = Rc::clone(&progress);
@@ -413,8 +411,7 @@ mod tests {
         // The overshoot guard keeps the pick near (within ±25% + one page
         // of) the balance target.
         assert!(
-            dma_bytes as f64 >= target as f64 * 0.6
-                && dma_bytes <= target + target / 4 + PAGE_SIZE,
+            dma_bytes as f64 >= target as f64 * 0.6 && dma_bytes <= target + target / 4 + PAGE_SIZE,
             "dma {dma_bytes} vs target {target}"
         );
     }

@@ -212,10 +212,8 @@ impl DmaEngine {
                             // Stall far beyond the modeled time; the
                             // submitter's wait budget expires long before
                             // this sleep does and cancels the descriptor.
-                            h2.sleep(Nanos(
-                                dur.as_nanos().max(1) * cost2.dma_timeout_stall,
-                            ))
-                            .await;
+                            h2.sleep(Nanos(dur.as_nanos().max(1) * cost2.dma_timeout_stall))
+                                .await;
                         }
                         None => {
                             // Device time: a plain sleep, not a core advance.
@@ -456,10 +454,7 @@ mod tests {
         let fired2 = Rc::clone(&fired);
         let eng2 = Rc::clone(&eng);
         sim.spawn("driver", async move {
-            let c = eng2.submit(
-                st,
-                Some(Box::new(move |_| fired2.set(true))),
-            );
+            let c = eng2.submit(st, Some(Box::new(move |_| fired2.set(true))));
             c.wait().await;
             assert_eq!(c.error(), Some(DmaError::ChannelDead));
             // A second submit finds no live channel: fails synchronously.
@@ -534,12 +529,10 @@ mod tests {
         let eng2 = Rc::clone(&eng);
         let h2 = h.clone();
         sim.spawn("driver", async move {
-            let c = eng2.submit(
-                st,
-                Some(Box::new(move |_| fired2.set(true))),
-            );
+            let c = eng2.submit(st, Some(Box::new(move |_| fired2.set(true))));
             // Give up long before the stalled device would finish.
-            h2.sleep(Nanos(cost.dma_transfer(1024).as_nanos() * 2)).await;
+            h2.sleep(Nanos(cost.dma_transfer(1024).as_nanos() * 2))
+                .await;
             assert!(!c.is_settled(), "device is stalling");
             c.cancel();
             c.wait().await;
@@ -549,7 +542,10 @@ mod tests {
         assert!(!fired.get());
         let mut buf = [0u8; 1024];
         pm.read(dst, 0, &mut buf);
-        assert!(buf.iter().all(|&x| x == 0), "cancelled transfer landed bytes");
+        assert!(
+            buf.iter().all(|&x| x == 0),
+            "cancelled transfer landed bytes"
+        );
     }
 
     #[test]

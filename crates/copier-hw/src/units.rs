@@ -122,9 +122,7 @@ pub fn copy_extent_pair(pm: &PhysMem, dst: Extent, src: Extent) {
             FrameId(dst.frame.0 + (d_abs / PAGE_SIZE) as u32),
             d_abs % PAGE_SIZE,
         );
-        let take = (src.len - done)
-            .min(PAGE_SIZE - so)
-            .min(PAGE_SIZE - do_);
+        let take = (src.len - done).min(PAGE_SIZE - so).min(PAGE_SIZE - do_);
         pm.copy(df, do_, sf, so, take);
         done += take;
     }
@@ -325,13 +323,35 @@ mod slice_tests {
     #[test]
     fn slice_extents_carves_ranges() {
         let ex = [
-            Extent { frame: FrameId(0), off: 100, len: 3000 },
-            Extent { frame: FrameId(9), off: 0, len: 5000 },
+            Extent {
+                frame: FrameId(0),
+                off: 100,
+                len: 3000,
+            },
+            Extent {
+                frame: FrameId(9),
+                off: 0,
+                len: 5000,
+            },
         ];
         let s = slice_extents(&ex, 2000, 2000);
         assert_eq!(s.len(), 2);
-        assert_eq!(s[0], Extent { frame: FrameId(0), off: 2100, len: 1000 });
-        assert_eq!(s[1], Extent { frame: FrameId(9), off: 0, len: 1000 });
+        assert_eq!(
+            s[0],
+            Extent {
+                frame: FrameId(0),
+                off: 2100,
+                len: 1000
+            }
+        );
+        assert_eq!(
+            s[1],
+            Extent {
+                frame: FrameId(9),
+                off: 0,
+                len: 1000
+            }
+        );
         let whole = slice_extents(&ex, 0, 8000);
         assert_eq!(whole.to_vec(), ex.to_vec());
         // Slice crossing a page boundary inside an extent normalizes.

@@ -53,6 +53,16 @@ pub struct PhysMem {
     free: RefCell<Vec<FrameId>>,
     policy: Cell<AllocPolicy>,
     allocated: Cell<usize>,
+    /// Allocated-frame high watermark: at or above, the pool reports
+    /// memory pressure (graceful-degradation signal).
+    wmark_high: Cell<usize>,
+    /// Low watermark: pressure clears only once allocation falls back to
+    /// or below this (hysteresis, so the signal does not flap).
+    wmark_low: Cell<usize>,
+    /// Latched pressure state.
+    pressured: Cell<bool>,
+    /// Transitions into the pressured state.
+    pressure_events: Cell<u64>,
 }
 
 impl PhysMem {
@@ -87,6 +97,12 @@ impl PhysMem {
             free: RefCell::new(free),
             policy: Cell::new(policy),
             allocated: Cell::new(0),
+            // Default watermarks: pressure at 7/8 of the pool, recovery at
+            // 3/4 — headroom for pinned in-flight copies without flapping.
+            wmark_high: Cell::new(frames - frames / 8),
+            wmark_low: Cell::new((frames - frames / 4).min(frames.saturating_sub(1))),
+            pressured: Cell::new(false),
+            pressure_events: Cell::new(0),
         }
     }
 
@@ -107,11 +123,7 @@ impl PhysMem {
 
     /// Allocates one frame with refcount 1. Its contents are zeroed.
     pub fn alloc(&self) -> Result<FrameId, PhysError> {
-        let f = self
-            .free
-            .borrow_mut()
-            .pop()
-            .ok_or(PhysError::OutOfMemory)?;
+        let f = self.free.borrow_mut().pop().ok_or(PhysError::OutOfMemory)?;
         let slot = &self.slots[f.0 as usize];
         debug_assert_eq!(slot.refcnt.get(), 0);
         slot.refcnt.set(1);
@@ -227,6 +239,44 @@ impl PhysMem {
         self.slots.iter().filter(|s| s.pins.get() > 0).count()
     }
 
+    /// Sets the pressure watermarks (allocated-frame counts). Pressure is
+    /// raised at `high` and clears only at or below `low` (`low < high`).
+    pub fn set_watermarks(&self, low: usize, high: usize) {
+        assert!(low < high, "low watermark must sit below high");
+        self.wmark_low.set(low);
+        self.wmark_high.set(high.min(self.slots.len()));
+        // Re-evaluate immediately so a tightened watermark takes effect
+        // without waiting for the next allocation.
+        self.pressure();
+    }
+
+    /// Current watermarks as `(low, high)` allocated-frame counts.
+    pub fn watermarks(&self) -> (usize, usize) {
+        (self.wmark_low.get(), self.wmark_high.get())
+    }
+
+    /// Whether the pool is under memory pressure, with hysteresis: raised
+    /// when allocation reaches the high watermark, cleared only once it
+    /// falls back to the low watermark. Consumers (the Copier service)
+    /// poll this to switch into graceful degradation (§4.6 fallback).
+    pub fn pressure(&self) -> bool {
+        let a = self.allocated.get();
+        if self.pressured.get() {
+            if a <= self.wmark_low.get() {
+                self.pressured.set(false);
+            }
+        } else if a >= self.wmark_high.get() {
+            self.pressured.set(true);
+            self.pressure_events.set(self.pressure_events.get() + 1);
+        }
+        self.pressured.get()
+    }
+
+    /// Times the pool transitioned into the pressured state.
+    pub fn pressure_events(&self) -> u64 {
+        self.pressure_events.get()
+    }
+
     /// Reads from a frame into `buf`.
     ///
     /// # Panics
@@ -236,7 +286,9 @@ impl PhysMem {
         let slot = &self.slots[f.0 as usize];
         assert!(slot.refcnt.get() > 0, "read of free frame");
         let data = slot.data.borrow();
-        buf.copy_from_slice(&data.as_ref().expect("allocated frame has data")[off..off + buf.len()]);
+        buf.copy_from_slice(
+            &data.as_ref().expect("allocated frame has data")[off..off + buf.len()],
+        );
     }
 
     /// Writes `buf` into a frame.
@@ -245,8 +297,7 @@ impl PhysMem {
         let slot = &self.slots[f.0 as usize];
         assert!(slot.refcnt.get() > 0, "write of free frame");
         let mut data = slot.data.borrow_mut();
-        data.as_mut().expect("allocated frame has data")[off..off + buf.len()]
-            .copy_from_slice(buf);
+        data.as_mut().expect("allocated frame has data")[off..off + buf.len()].copy_from_slice(buf);
     }
 
     /// Copies bytes between frames — the real data movement behind every
@@ -254,14 +305,7 @@ impl PhysMem {
     ///
     /// Handles the same-frame case (used by intra-page `memmove`) with a
     /// bounce buffer.
-    pub fn copy(
-        &self,
-        dst: FrameId,
-        dst_off: usize,
-        src: FrameId,
-        src_off: usize,
-        len: usize,
-    ) {
+    pub fn copy(&self, dst: FrameId, dst_off: usize, src: FrameId, src_off: usize, len: usize) {
         assert!(dst_off + len <= PAGE_SIZE && src_off + len <= PAGE_SIZE);
         if len == 0 {
             return;
@@ -277,8 +321,9 @@ impl PhysMem {
         }
         let sdata = ss.data.borrow();
         let mut ddata = ds.data.borrow_mut();
-        ddata.as_mut().expect("allocated frame has data")[dst_off..dst_off + len]
-            .copy_from_slice(&sdata.as_ref().expect("allocated frame has data")[src_off..src_off + len]);
+        ddata.as_mut().expect("allocated frame has data")[dst_off..dst_off + len].copy_from_slice(
+            &sdata.as_ref().expect("allocated frame has data")[src_off..src_off + len],
+        );
     }
 
     /// Copies a whole frame (CoW break helper). Returns bytes copied.
@@ -407,6 +452,37 @@ mod tests {
         assert!(pm.is_pinned(f));
         pm.unpin(f);
         assert!(!pm.is_pinned(f));
+    }
+
+    #[test]
+    fn pressure_hysteresis() {
+        let pm = PhysMem::new(8, AllocPolicy::Sequential);
+        pm.set_watermarks(2, 6);
+        let frames: Vec<FrameId> = (0..6).map(|_| pm.alloc().unwrap()).collect();
+        assert!(pm.pressure(), "high watermark must raise pressure");
+        assert_eq!(pm.pressure_events(), 1);
+        // Dropping below high but above low keeps pressure latched.
+        pm.decref(frames[5]);
+        pm.decref(frames[4]);
+        pm.decref(frames[3]);
+        assert!(pm.pressure(), "pressure must hold until the low watermark");
+        pm.decref(frames[2]);
+        assert!(!pm.pressure(), "low watermark must clear pressure");
+        // Re-raising counts a fresh event.
+        let _f = pm.alloc().unwrap();
+        let _g = (0..3).map(|_| pm.alloc().unwrap()).collect::<Vec<_>>();
+        assert!(pm.pressure());
+        assert_eq!(pm.pressure_events(), 2);
+    }
+
+    #[test]
+    fn default_watermarks_never_trip_light_pools() {
+        let pm = PhysMem::new(64, AllocPolicy::Sequential);
+        for _ in 0..32 {
+            pm.alloc().unwrap();
+        }
+        assert!(!pm.pressure(), "half-full pool must not report pressure");
+        assert_eq!(pm.pressure_events(), 0);
     }
 
     #[test]

@@ -646,9 +646,7 @@ impl AddressSpace {
         if same_space {
             let mut pt = self.pt.borrow_mut();
             for p in 0..pages as u64 {
-                let spte = *pt
-                    .get(&(src_va.vpn() + p))
-                    .ok_or(MemError::Segv(src_va))?;
+                let spte = *pt.get(&(src_va.vpn() + p)).ok_or(MemError::Segv(src_va))?;
                 self.pm.incref(spte.frame);
                 pt.insert(
                     src_va.vpn() + p,
@@ -776,10 +774,7 @@ mod tests {
             Err(MemError::Segv(_))
         ));
         let ro = asp.mmap(PAGE_SIZE, Prot::RO, true).unwrap();
-        assert!(matches!(
-            asp.write_bytes(ro, &[1]),
-            Err(MemError::Segv(_))
-        ));
+        assert!(matches!(asp.write_bytes(ro, &[1]), Err(MemError::Segv(_))));
         assert!(matches!(
             asp.read_bytes(VirtAddr(KERNEL_BASE + 8), &mut buf),
             Err(MemError::Segv(_))

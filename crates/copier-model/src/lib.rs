@@ -116,10 +116,7 @@ mod refinement {
             }
             Op::Free { addr, len } => {
                 if len > 1 {
-                    out.push(Op::Free {
-                        addr,
-                        len: len - 1,
-                    });
+                    out.push(Op::Free { addr, len: len - 1 });
                 }
                 if addr > 0 {
                     out.push(Op::Free {
@@ -220,9 +217,17 @@ mod refinement {
             ops: vec![
                 Op::Write { addr: 0, val: 10 },
                 Op::Write { addr: 1, val: 11 },
-                Op::Copy { dst: 4, src: 0, len: 2 }, // A→B
-                Op::Write { addr: 4, val: 99 },      // modify part of B
-                Op::Copy { dst: 8, src: 4, len: 2 }, // B→C
+                Op::Copy {
+                    dst: 4,
+                    src: 0,
+                    len: 2,
+                }, // A→B
+                Op::Write { addr: 4, val: 99 }, // modify part of B
+                Op::Copy {
+                    dst: 8,
+                    src: 4,
+                    len: 2,
+                }, // B→C
                 Op::Read { addr: 8 },
                 Op::Read { addr: 9 },
             ],
@@ -243,7 +248,11 @@ mod refinement {
         let p = Program {
             ops: vec![
                 Op::Write { addr: 0, val: 7 },
-                Op::Copy { dst: 8, src: 0, len: 1 },
+                Op::Copy {
+                    dst: 8,
+                    src: 0,
+                    len: 1,
+                },
                 Op::Read { addr: 8 }, // transformed: csync before this read
             ],
         };
@@ -260,7 +269,11 @@ mod refinement {
         let p = Program {
             ops: vec![
                 Op::Write { addr: 0, val: 7 },
-                Op::Copy { dst: 8, src: 0, len: 1 },
+                Op::Copy {
+                    dst: 8,
+                    src: 0,
+                    len: 1,
+                },
                 Op::Read { addr: 8 },
             ],
         };
@@ -288,23 +301,22 @@ mod refinement {
             ops: vec![
                 Op::Write { addr: 3, val: 9 },
                 Op::Write { addr: 0, val: 7 },
-                Op::Copy { dst: 8, src: 0, len: 4 },
+                Op::Copy {
+                    dst: 8,
+                    src: 0,
+                    len: 4,
+                },
                 Op::Free { addr: 2, len: 2 },
                 Op::Read { addr: 8 },
                 Op::Read { addr: 3 },
             ],
         };
         assert!(planted(&seed_program).is_err());
-        let (minimal, _) =
-            copier_testkit::minimize(seed_program, &shrink_program, &planted, 8192);
+        let (minimal, _) = copier_testkit::minimize(seed_program, &shrink_program, &planted, 8192);
         // Minimal core: the write→copy→read chain with a length-1 copy —
         // every unrelated op (the free, the extra write/read) must have
         // been shrunk away, and the copy shortened to one byte.
-        assert!(
-            minimal.ops.len() <= 3,
-            "not minimal: {:?}",
-            minimal.ops
-        );
+        assert!(minimal.ops.len() <= 3, "not minimal: {:?}", minimal.ops);
         assert!(planted(&minimal).is_err());
         let _ = run_sync(&minimal); // still a valid program
     }

@@ -256,7 +256,8 @@ impl AsyncState {
                 latest[a] = Some(v);
             }
         }
-        self.list.retain(|&(a, _, _)| !(a >= addr && a < addr + len));
+        self.list
+            .retain(|&(a, _, _)| !(a >= addr && a < addr + len));
         for (a, v) in latest.into_iter().enumerate() {
             if let Some(v) = v {
                 self.mem[a] = v;

@@ -94,26 +94,31 @@ impl BinderChannel {
         };
         self.cursor.set(offset + len);
         let dst = self.kbuf.add(offset);
-        let descr = match mode {
-            IoMode::Copier => {
-                let lib = client.lib();
-                let sect = lib.kernel_section(0);
-                let d = sect
-                    .submit(
-                        core,
-                        &self.os.kspace,
-                        dst,
-                        &client.space,
-                        va,
-                        len,
-                        None,
-                        false,
-                    )
-                    .await;
-                drop(sect);
-                Some(d)
-            }
-            _ => {
+        let mut submitted = None;
+        if mode == IoMode::Copier {
+            let lib = client.lib();
+            let sect = lib.kernel_section(0);
+            // Overload falls through to the synchronous path below — the
+            // transaction still happens, just without async offload
+            // (§4.6 break-even fallback).
+            submitted = sect
+                .submit(
+                    core,
+                    &self.os.kspace,
+                    dst,
+                    &client.space,
+                    va,
+                    len,
+                    None,
+                    false,
+                )
+                .await
+                .ok();
+            sect.close(core).await;
+        }
+        let descr = match submitted {
+            Some(d) => Some(d),
+            None => {
                 copier_client::sync_copy(
                     core,
                     &self.os.cost,
@@ -130,11 +135,9 @@ impl BinderChannel {
         };
         // Driver bookkeeping + server thread scheduling overlap the copy.
         core.advance(BINDER_DRIVER_WORK).await;
-        self.queue.borrow_mut().push_back(BinderMessage {
-            offset,
-            len,
-            descr,
-        });
+        self.queue
+            .borrow_mut()
+            .push_back(BinderMessage { offset, len, descr });
         self.notify.notify_one();
         Ok(())
     }
@@ -198,10 +201,7 @@ impl Parcel<'_> {
     /// Reads `len` raw bytes through the server's read-only window.
     pub async fn read_bytes(&mut self, core: &Rc<Core>, buf: &mut [u8]) {
         self.ensure(core, buf.len()).await;
-        let va = self
-            .chan
-            .server_window
-            .add(self.msg.offset + self.pos);
+        let va = self.chan.server_window.add(self.msg.offset + self.pos);
         self.chan
             .server
             .space
@@ -291,7 +291,9 @@ mod tests {
             let buf = client.space.mmap(64 * 1024, Prot::RW, true).unwrap();
             let len = write_strings(&client, buf, &[0x5a; 1024], 16).unwrap();
             let t0 = h.now();
-            chan.transact(&ccore, &client, buf, len, mode).await.unwrap();
+            chan.transact(&ccore, &client, buf, len, mode)
+                .await
+                .unwrap();
             done.notified().await;
             end2.set(h.now() - t0);
             if let Some(svc) = os2.copier.borrow().as_ref() {
@@ -312,9 +314,6 @@ mod tests {
     fn binder_copier_roundtrip_is_faster() {
         let t_sync = roundtrip(IoMode::Sync, false);
         let t_cop = roundtrip(IoMode::Copier, true);
-        assert!(
-            t_cop < t_sync,
-            "copier {t_cop} should beat sync {t_sync}"
-        );
+        assert!(t_cop < t_sync, "copier {t_cop} should beat sync {t_sync}");
     }
 }

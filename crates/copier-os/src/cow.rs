@@ -71,7 +71,7 @@ pub async fn handle_cow_fault(
         let head = (region_len / 4).max(PAGE_SIZE);
         let tail = region_len - head;
         let sect = lib.kernel_section(0);
-        let d = sect
+        let submitted = sect
             .submit(
                 core,
                 &os.kspace,
@@ -83,37 +83,76 @@ pub async fn handle_cow_fault(
                 false,
             )
             .await;
-        drop(sect);
-        sync_copy(
-            core,
-            &os.cost,
-            CpuCopyKind::Erms,
-            &os.kspace,
-            dst_kva,
-            &os.kspace,
-            src_kva,
-            head,
-        )
-        .await?;
-        // Sync before making the replica visible (csync guideline 4).
-        lib._csync(core, &d, 0, tail, 0, dst_kva.add(head), 0)
-            .await
-            .expect("cow copy");
+        sect.close(core).await;
+        match submitted {
+            Ok(d) => {
+                sync_copy(
+                    core,
+                    &os.cost,
+                    CpuCopyKind::Erms,
+                    &os.kspace,
+                    dst_kva,
+                    &os.kspace,
+                    src_kva,
+                    head,
+                )
+                .await?;
+                // Sync before making the replica visible (csync
+                // guideline 4).
+                lib._csync(core, &d, 0, tail, 0, dst_kva.add(head), 0)
+                    .await
+                    .expect("cow copy");
+            }
+            Err(_) => {
+                // Service overloaded: the whole replica is produced by
+                // the in-handler synchronous copy (§4.6 fallback).
+                sync_copy(
+                    core,
+                    &os.cost,
+                    CpuCopyKind::Erms,
+                    &os.kspace,
+                    dst_kva,
+                    &os.kspace,
+                    src_kva,
+                    region_len,
+                )
+                .await?;
+            }
+        }
     } else if use_copier {
         // A single base page: the submission overhead dominates; the
         // handler still offloads and overlaps its own bookkeeping.
         let lib = proc.lib();
         let sect = lib.kernel_section(0);
-        let d = sect
-            .submit(core, &os.kspace, dst_kva, &os.kspace, src_kva, region_len, None, false)
+        let submitted = sect
+            .submit(
+                core, &os.kspace, dst_kva, &os.kspace, src_kva, region_len, None, false,
+            )
             .await;
-        drop(sect);
+        sect.close(core).await;
         // Fault bookkeeping the handler performs while Copier copies:
         // rmap/anon-vma updates, accounting.
         core.advance(Nanos(700)).await;
-        lib._csync(core, &d, 0, region_len, 0, dst_kva, 0)
-            .await
-            .expect("cow copy");
+        match submitted {
+            Ok(d) => {
+                lib._csync(core, &d, 0, region_len, 0, dst_kva, 0)
+                    .await
+                    .expect("cow copy");
+            }
+            Err(_) => {
+                sync_copy(
+                    core,
+                    &os.cost,
+                    CpuCopyKind::Erms,
+                    &os.kspace,
+                    dst_kva,
+                    &os.kspace,
+                    src_kva,
+                    region_len,
+                )
+                .await?;
+            }
+        }
     } else {
         sync_copy(
             core,
@@ -233,6 +272,9 @@ mod tests {
         let (t_cop, _) = run(PAGE_SIZE, true);
         // Small pages see a modest change either way (paper: −8%).
         let ratio = t_cop.as_nanos() as f64 / t_base.as_nanos() as f64;
-        assert!(ratio < 1.25, "4K copier path should stay near baseline, ratio {ratio}");
+        assert!(
+            ratio < 1.25,
+            "4K copier path should stay near baseline, ratio {ratio}"
+        );
     }
 }

@@ -235,7 +235,13 @@ impl NetStack {
                         .kspace
                         .resolve(fresh.kva.add(done), true)
                         .expect("fresh skb mapped");
-                    me.os.pm.copy(df, fresh.kva.add(done).page_off(), pins[done / PAGE_SIZE], 0, take);
+                    me.os.pm.copy(
+                        df,
+                        fresh.kva.add(done).page_off(),
+                        pins[done / PAGE_SIZE],
+                        0,
+                        take,
+                    );
                     done += take;
                 }
                 for f in pins {
@@ -319,10 +325,37 @@ impl NetStack {
                 let skb = self.alloc_skb(len)?;
                 let lib = proc.lib();
                 let sect = lib.kernel_section(fd);
-                let d = sect
-                    .submit(core, &self.os.kspace, skb.kva, &proc.space, va, len, None, false)
+                let submitted = sect
+                    .submit(
+                        core,
+                        &self.os.kspace,
+                        skb.kva,
+                        &proc.space,
+                        va,
+                        len,
+                        None,
+                        false,
+                    )
                     .await;
-                drop(sect);
+                sect.close(core).await;
+                let Ok(d) = submitted else {
+                    // Overloaded: degrade this send to the synchronous
+                    // kernel copy (§4.6) — the packet still goes out.
+                    sync_copy(
+                        core,
+                        &self.os.cost,
+                        CpuCopyKind::Erms,
+                        &self.os.kspace,
+                        skb.kva,
+                        &proc.space,
+                        va,
+                        len,
+                    )
+                    .await?;
+                    core.advance(NET_PROC).await;
+                    self.transmit(sock, skb);
+                    return Ok(SendHandle::Plain);
+                };
                 *skb.descr.borrow_mut() = Some(Rc::clone(&d));
                 // Checksum offloaded: protocol layers use metadata only,
                 // overlapping with the copy.
@@ -337,8 +370,7 @@ impl NetStack {
                     // Linux falls back to a normal copy in this case; we
                     // model the documented behavior.
                     let r =
-                        Box::pin(self.send_opts(core, proc, sock, va, len, IoMode::Sync, fd))
-                            .await;
+                        Box::pin(self.send_opts(core, proc, sock, va, len, IoMode::Sync, fd)).await;
                     return r;
                 }
                 core.advance(ZC_SETUP).await;
@@ -385,7 +417,8 @@ impl NetStack {
         cap: usize,
         mode: IoMode,
     ) -> Result<(usize, Option<Rc<SegDescriptor>>), MemError> {
-        self.recv_opts(core, proc, sock, va, cap, mode, false, 0).await
+        self.recv_opts(core, proc, sock, va, cap, mode, false, 0)
+            .await
     }
 
     /// `recv` with an explicit queue-set `fd` and a `lazy` flag marking
@@ -454,7 +487,7 @@ impl NetStack {
                     me.free_skb(&skb2);
                 }));
                 let sect = lib.kernel_section(fd);
-                let d = sect
+                let submitted = sect
                     .submit(
                         core,
                         &proc.space,
@@ -466,8 +499,27 @@ impl NetStack {
                         lazy,
                     )
                     .await;
-                drop(sect);
-                Ok((len, Some(d)))
+                sect.close(core).await;
+                match submitted {
+                    Ok(d) => Ok((len, Some(d))),
+                    Err(_) => {
+                        // Overloaded: deliver synchronously (§4.6). The
+                        // KFUNC never runs — free the skb here instead.
+                        sync_copy(
+                            core,
+                            &self.os.cost,
+                            CpuCopyKind::Erms,
+                            &proc.space,
+                            va,
+                            &self.os.kspace,
+                            skb.kva,
+                            len,
+                        )
+                        .await?;
+                        self.free_skb(&skb);
+                        Ok((len, None))
+                    }
+                }
             }
             IoMode::ZeroCopy => {
                 // The paper does not evaluate zero-copy recv (special NIC
@@ -508,8 +560,13 @@ mod tests {
             let rx = p.space.mmap(8192, Prot::RW, true).unwrap();
             let data: Vec<u8> = (0..5000).map(|i| (i % 241) as u8).collect();
             p.space.write_bytes(tx, &data).unwrap();
-            net.send(&core, &p, &a, tx, 5000, IoMode::Sync).await.unwrap();
-            let (n, d) = net.recv(&core, &p, &b, rx, 8192, IoMode::Sync).await.unwrap();
+            net.send(&core, &p, &a, tx, 5000, IoMode::Sync)
+                .await
+                .unwrap();
+            let (n, d) = net
+                .recv(&core, &p, &b, rx, 8192, IoMode::Sync)
+                .await
+                .unwrap();
             assert_eq!(n, 5000);
             assert!(d.is_none());
             let mut out = vec![0u8; 5000];
@@ -570,7 +627,9 @@ mod tests {
             let tx = p.space.mmap(len, Prot::RW, true).unwrap();
             p.space.write_bytes(tx, &vec![7u8; len]).unwrap();
             let t0 = h.now();
-            net.send(&core, &p, &a, tx, len, IoMode::Copier).await.unwrap();
+            net.send(&core, &p, &a, tx, len, IoMode::Copier)
+                .await
+                .unwrap();
             let t_send = h.now() - t0;
             // The send syscall must return well before an ERMS copy of the
             // payload would even finish.
@@ -578,7 +637,10 @@ mod tests {
             // And the data still arrives intact.
             let p2 = Rc::clone(&p);
             let rx = p2.space.mmap(len, Prot::RW, true).unwrap();
-            let (n, _) = net.recv(&core, &p, &b, rx, len, IoMode::Sync).await.unwrap();
+            let (n, _) = net
+                .recv(&core, &p, &b, rx, len, IoMode::Sync)
+                .await
+                .unwrap();
             assert_eq!(n, len);
             let mut out = vec![0u8; len];
             p.space.read_bytes(rx, &mut out).unwrap();
@@ -606,7 +668,10 @@ mod tests {
                 .expect("zc completion");
             assert!(!done.is_done(), "pages pinned until NIC finishes");
             let rx = p.space.mmap(len, Prot::RW, true).unwrap();
-            let (n, _) = net.recv(&core, &p, &b, rx, len, IoMode::Sync).await.unwrap();
+            let (n, _) = net
+                .recv(&core, &p, &b, rx, len, IoMode::Sync)
+                .await
+                .unwrap();
             assert_eq!(n, len);
             done.wait().await;
             assert!(done.is_done());

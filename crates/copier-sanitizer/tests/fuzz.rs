@@ -17,11 +17,7 @@ fn arb_copy(rng: &mut TestRng) -> (u64, u64, usize) {
     let mut slots = [0u64, 1, 2, 3];
     rng.shuffle(&mut slots);
     let base = 0x10_0000;
-    (
-        base + slots[0] * 0x1_0000,
-        base + slots[1] * 0x1_0000,
-        len,
-    )
+    (base + slots[0] * 0x1_0000, base + slots[1] * 0x1_0000, len)
 }
 
 #[test]

@@ -136,7 +136,7 @@ mod tests {
         let c = m.compute_cost(Nanos(10_000));
         assert!(c > Nanos(10_000));
         assert!(c <= Nanos(12_001)); // bounded by miss_tax = 20%
-        // Long compute restores residency.
+                                     // Long compute restores residency.
         for _ in 0..100 {
             m.compute_cost(Nanos::from_micros(30));
         }

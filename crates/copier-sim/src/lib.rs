@@ -26,6 +26,7 @@ pub mod fault;
 pub mod rng;
 pub mod sync;
 pub mod time;
+pub mod workload;
 
 pub use cache::{CacheConfig, CacheModel};
 pub use cpu::{Core, Machine, PowerModel, DEFAULT_QUANTUM};
@@ -34,3 +35,4 @@ pub use fault::{DmaFault, FaultConfig, FaultLog, FaultPlan};
 pub use rng::SimRng;
 pub use sync::{Chan, Notify};
 pub use time::Nanos;
+pub use workload::{Arrival, WorkloadConfig, WorkloadPlan};

@@ -38,10 +38,7 @@ impl SimRng {
     /// Next raw 64-bit value.
     pub fn next_u64(&self) -> u64 {
         let mut s = self.s.get();
-        let result = s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

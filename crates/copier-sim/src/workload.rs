@@ -1,0 +1,200 @@
+//! Deterministic open-loop overload workloads (multi-tenant).
+//!
+//! The overload experiments need traffic that does **not** slow down when
+//! the service does — an open-loop arrival process — and they need it to
+//! be reproducible from a seed, like [`crate::fault::FaultPlan`]. A
+//! [`WorkloadPlan`] precomputes, per tenant, a sorted schedule of
+//! submission instants (exponential inter-arrival gaps) and copy lengths
+//! (uniform in a configured range). Each tenant draws from its own PRNG
+//! stream derived from `(seed, tenant)`, so adding a tenant never
+//! perturbs the others' schedules and any run is fully determined by the
+//! config.
+//!
+//! The plan only *schedules*; harnesses own the submission mechanics
+//! (amemcpy, credit handling, what to do on `Overloaded`).
+
+use std::rc::Rc;
+
+use crate::rng::SimRng;
+use crate::time::Nanos;
+
+/// One scheduled submission for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual instant the request enters the system.
+    pub at: Nanos,
+    /// Bytes the request asks the service to copy.
+    pub len: usize,
+}
+
+/// Configuration of a seeded open-loop multi-tenant workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Seed all per-tenant PRNG streams derive from.
+    pub seed: u64,
+    /// Number of independent tenants.
+    pub tenants: usize,
+    /// Mean inter-arrival gap per tenant (exponential distribution).
+    pub mean_gap: Nanos,
+    /// Minimum copy length (inclusive).
+    pub len_min: usize,
+    /// Maximum copy length (inclusive).
+    pub len_max: usize,
+    /// Arrivals are generated in `[0, horizon)`.
+    pub horizon: Nanos,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0,
+            tenants: 2,
+            mean_gap: Nanos::from_micros(10),
+            len_min: 16 * 1024,
+            len_max: 64 * 1024,
+            horizon: Nanos::from_millis(1),
+        }
+    }
+}
+
+/// A precomputed, seed-deterministic open-loop workload.
+pub struct WorkloadPlan {
+    cfg: WorkloadConfig,
+    /// `per_tenant[t]` is tenant `t`'s schedule, sorted by `at`.
+    per_tenant: Vec<Vec<Arrival>>,
+}
+
+impl std::fmt::Debug for WorkloadPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadPlan")
+            .field("cfg", &self.cfg)
+            .field("arrivals", &self.total_arrivals())
+            .finish()
+    }
+}
+
+impl WorkloadPlan {
+    /// Generates the full schedule from `cfg`.
+    pub fn new(cfg: WorkloadConfig) -> Rc<Self> {
+        assert!(cfg.tenants > 0, "workload needs at least one tenant");
+        assert!(cfg.mean_gap > Nanos::ZERO, "mean gap must be positive");
+        assert!(
+            0 < cfg.len_min && cfg.len_min <= cfg.len_max,
+            "degenerate length range"
+        );
+        let per_tenant = (0..cfg.tenants)
+            .map(|t| {
+                // Independent stream per tenant: splitmix the tenant index
+                // into the seed so streams never overlap draws.
+                let rng =
+                    SimRng::new(cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut sched = Vec::new();
+                let mut now = Nanos::ZERO;
+                loop {
+                    // Exponential gap with the configured mean; clamp away
+                    // from zero so two arrivals never share an instant.
+                    let u = rng.gen_f64();
+                    let gap = (-(1.0 - u).ln() * cfg.mean_gap.as_nanos() as f64) as u64;
+                    now += Nanos(gap.max(1));
+                    if now >= cfg.horizon {
+                        break;
+                    }
+                    let len = cfg.len_min
+                        + rng.gen_range((cfg.len_max - cfg.len_min + 1) as u64) as usize;
+                    sched.push(Arrival { at: now, len });
+                }
+                sched
+            })
+            .collect();
+        Rc::new(WorkloadPlan { cfg, per_tenant })
+    }
+
+    /// The configuration this plan was built from.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Tenant `t`'s schedule, sorted by arrival instant.
+    pub fn tenant(&self, t: usize) -> &[Arrival] {
+        &self.per_tenant[t]
+    }
+
+    /// Total arrivals across all tenants.
+    pub fn total_arrivals(&self) -> usize {
+        self.per_tenant.iter().map(Vec::len).sum()
+    }
+
+    /// Total bytes the workload offers the service over the horizon.
+    pub fn offered_bytes(&self) -> u64 {
+        self.per_tenant.iter().flatten().map(|a| a.len as u64).sum()
+    }
+
+    /// Offered load in bytes per nanosecond (all tenants combined).
+    pub fn offered_rate(&self) -> f64 {
+        self.offered_bytes() as f64 / self.cfg.horizon.as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            seed,
+            tenants: 3,
+            mean_gap: Nanos::from_micros(5),
+            len_min: 4 * 1024,
+            len_max: 32 * 1024,
+            horizon: Nanos::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn same_seed_identical_schedule() {
+        let a = WorkloadPlan::new(cfg(42));
+        let b = WorkloadPlan::new(cfg(42));
+        for t in 0..3 {
+            assert_eq!(a.tenant(t), b.tenant(t));
+        }
+        assert!(a.total_arrivals() > 100, "2 ms at ~5 µs gaps");
+        assert_eq!(a.offered_bytes(), b.offered_bytes());
+    }
+
+    #[test]
+    fn schedules_sorted_within_horizon_and_lengths_in_range() {
+        let p = WorkloadPlan::new(cfg(7));
+        for t in 0..3 {
+            let s = p.tenant(t);
+            assert!(s.windows(2).all(|w| w[0].at < w[1].at));
+            assert!(s.iter().all(|a| a.at < p.config().horizon));
+            assert!(s.iter().all(|a| (4 * 1024..=32 * 1024).contains(&a.len)));
+        }
+    }
+
+    #[test]
+    fn tenants_draw_independent_streams() {
+        let p = WorkloadPlan::new(cfg(9));
+        assert_ne!(p.tenant(0), p.tenant(1), "streams must differ");
+        // Removing a tenant leaves the survivors' schedules untouched.
+        let fewer = WorkloadPlan::new(WorkloadConfig {
+            tenants: 2,
+            ..cfg(9)
+        });
+        assert_eq!(p.tenant(0), fewer.tenant(0));
+        assert_eq!(p.tenant(1), fewer.tenant(1));
+    }
+
+    #[test]
+    fn mean_gap_roughly_matches_config() {
+        let p = WorkloadPlan::new(WorkloadConfig {
+            horizon: Nanos::from_millis(50),
+            ..cfg(3)
+        });
+        let s = p.tenant(0);
+        let mean = s.last().unwrap().at.as_nanos() / s.len() as u64;
+        // Exponential with mean 5 µs: the sample mean over ~10k draws
+        // lands well inside ±20%.
+        assert!((4_000..=6_000).contains(&mean), "sample mean {mean} ns");
+    }
+}

@@ -29,3 +29,18 @@ pub mod rng;
 pub use bench::{black_box, Bench, BenchResult};
 pub use prop::{check, check_with, minimize, Arbitrary, Config, PropResult};
 pub use rng::TestRng;
+
+/// Asserts that a [`copier_mem::PhysMem`] has no pinned frames left.
+///
+/// Every test that drives copies through the service should call this in
+/// its teardown: a frame still pinned after the workload settles means the
+/// proactive-fault pin/unpin pairing (§4.5.4) leaked somewhere — the
+/// kernel could then never reclaim the page.
+#[track_caller]
+pub fn assert_no_pinned_leaks(pm: &copier_mem::PhysMem) {
+    let pinned = pm.pinned_frames();
+    assert_eq!(
+        pinned, 0,
+        "pinned-frame leak: {pinned} frame(s) still pinned after teardown"
+    );
+}

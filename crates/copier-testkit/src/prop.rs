@@ -389,10 +389,15 @@ mod tests {
         };
         let cfg = Config::regression(case_seed);
         let result = std::panic::catch_unwind(|| {
-            check_with(&cfg, gen, |_| Vec::new(), |&v| {
-                prop_assert!(v < 990);
-                Ok(())
-            });
+            check_with(
+                &cfg,
+                gen,
+                |_| Vec::new(),
+                |&v| {
+                    prop_assert!(v < 990);
+                    Ok(())
+                },
+            );
         });
         let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
         assert!(msg.contains("TESTKIT_REPRO"), "{msg}");

@@ -68,11 +68,19 @@ fn run(mode: RedisMode, with_copier: bool, label: &str) {
             avg(&gets)
         );
         if let Some(svc) = os2.copier.borrow().as_ref() {
+            let st = svc.stats();
             println!(
                 "{label:>10}: absorbed {} bytes, {} aborts, {} tasks",
-                svc.stats().bytes_absorbed,
-                svc.stats().aborts,
-                svc.stats().tasks_completed
+                st.bytes_absorbed, st.aborts, st.tasks_completed
+            );
+            println!(
+                "{label:>10}: overload: {} rejected ({} bytes shed), {} credits granted, \
+                 {} degraded sync copies, {} pressure events",
+                st.admission_rejected,
+                st.shed_bytes,
+                st.credits_granted,
+                st.degraded_sync_copies,
+                st.pressure_events
             );
             svc.stop();
         }

@@ -47,7 +47,7 @@ fn main() {
 
         // --- The Copier programming model (Fig. 4) ---
         let t0 = h2.now();
-        lib.amemcpy(&core, dst, src, len).await; //  submit, don't block
+        lib.amemcpy(&core, dst, src, len).await.unwrap(); // submit, don't block
         core.advance(Nanos::from_micros(40)).await; //  the Copy-Use window
         lib.csync(&core, dst, len).await.unwrap(); //  sync before use
         let t_async = h2.now() - t0;

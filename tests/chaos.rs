@@ -22,7 +22,7 @@ use copier::mem::{Prot, PAGE_SIZE};
 use copier::os::Os;
 use copier::sim::{FaultConfig, FaultLog, FaultPlan, Machine, Nanos, Sim};
 use copier_testkit::prop::{check_with, Config};
-use copier_testkit::{prop_assert, prop_assert_eq, TestRng};
+use copier_testkit::{assert_no_pinned_leaks, prop_assert, prop_assert_eq, TestRng};
 
 /// One randomized chaos scenario.
 #[derive(Debug, Clone)]
@@ -45,9 +45,21 @@ fn gen_case(rng: &mut TestRng, kill_prob: f64) -> ChaosCase {
         channels: rng.range_usize(1, 5),
         ncopies: rng.range_usize(2, 7),
         len: rng.range_usize(1, 5) * 16 * 1024 + rng.range_usize(0, 4) * 1024,
-        transient: if rng.gen_bool(0.7) { rng.gen_f64() * 0.4 } else { 0.0 },
-        hard: if rng.gen_bool(0.4) { rng.gen_f64() * 0.15 } else { 0.0 },
-        timeout: if rng.gen_bool(0.4) { rng.gen_f64() * 0.2 } else { 0.0 },
+        transient: if rng.gen_bool(0.7) {
+            rng.gen_f64() * 0.4
+        } else {
+            0.0
+        },
+        hard: if rng.gen_bool(0.4) {
+            rng.gen_f64() * 0.15
+        } else {
+            0.0
+        },
+        timeout: if rng.gen_bool(0.4) {
+            rng.gen_f64() * 0.2
+        } else {
+            0.0
+        },
         stale: rng.gen_f64() * 0.5,
         kill: rng.gen_bool(kill_prob),
     }
@@ -108,6 +120,11 @@ fn stats_key(svc: &Rc<Copier>) -> Vec<u64> {
         s.dispatch.dma_wait.as_nanos(),
         s.dispatch.retries,
         s.dispatch.fallback_bytes as u64,
+        s.admission_rejected,
+        s.shed_bytes,
+        s.credits_granted,
+        s.degraded_sync_copies,
+        s.pressure_events,
     ]
 }
 
@@ -168,7 +185,9 @@ fn run_chaos(case: &ChaosCase) -> Outcome {
     let len = case.len;
     sim.spawn("client", async move {
         for &(src, dst) in &bufs2 {
-            let d = lib2.amemcpy(&core, dst, src, len).await;
+            // Default quotas are far above this workload; a rejection here
+            // would itself be a bug.
+            let d = lib2.amemcpy(&core, dst, src, len).await.expect("admitted");
             d2.borrow_mut().push(d);
         }
         let _ = lib2.csync_all(&core).await;
@@ -203,6 +222,11 @@ fn run_chaos(case: &ChaosCase) -> Outcome {
         }
         per_copy.push((d.fault(), marks));
     }
+
+    // Teardown invariant for every chaos run, regardless of which
+    // property the caller asserts on: even a mid-flight kill must leave
+    // nothing pinned once the orphan sweep has run.
+    assert_no_pinned_leaks(&os.pm);
 
     Outcome {
         end: end.as_nanos(),
@@ -293,75 +317,81 @@ fn chaos_poisoned_source_never_forwarded() {
         |rng| (rng.range_usize(2, 6), rng.next_u64()),
         |_| Vec::new(),
         |&(pages, seed): &(usize, u64)| {
-        let len = pages * PAGE_SIZE;
+            let len = pages * PAGE_SIZE;
 
-        let mut sim = Sim::new();
-        let h = sim.handle();
-        let machine = Machine::new(&h, 2);
-        let os = Os::boot(&h, machine, 4096);
-        let svc = os.install_copier(
-            vec![os.machine.core(1)],
-            CopierConfig {
-                use_dma: true,
-                ..Default::default()
-            },
-        );
-        let proc = os.spawn_process();
-        let lib = proc.lib();
-        let uspace = Rc::clone(&lib.uspace);
-
-        // W (fully mapped) → X (one page short: the producer faults) →
-        // Y → Z. Only the W→X copy touches unmapped memory; X→Y and
-        // Y→Z are well-formed on their own and must die by taint alone.
-        let w = uspace.mmap(len, Prot::RW, true).unwrap();
-        let x = uspace.mmap(len - PAGE_SIZE, Prot::RW, true).unwrap();
-        let y = uspace.mmap(len - PAGE_SIZE, Prot::RW, true).unwrap();
-        let z = uspace.mmap(len - PAGE_SIZE, Prot::RW, true).unwrap();
-        uspace.write_bytes(w, &pattern(0, seed, len)).unwrap();
-
-        let descrs: Rc<RefCell<Vec<Rc<SegDescriptor>>>> = Rc::new(RefCell::new(Vec::new()));
-        let d2 = Rc::clone(&descrs);
-        let lib2 = Rc::clone(&lib);
-        let svc2 = Rc::clone(&svc);
-        let core = os.machine.core(0);
-        sim.spawn("client", async move {
-            let a = lib2.amemcpy(&core, x, w, len).await;
-            let b = lib2.amemcpy(&core, y, x, len - PAGE_SIZE).await;
-            let c = lib2.amemcpy(&core, z, y, len - PAGE_SIZE).await;
-            let _ = lib2.csync_all(&core).await;
-            d2.borrow_mut().extend([a, b, c]);
-            svc2.stop();
-        });
-        sim.run();
-
-        let ds = descrs.borrow();
-        prop_assert_eq!(ds[0].fault(), Some(CopyFault::Segv), "producer must fault");
-        prop_assert_eq!(
-            ds[1].fault(),
-            Some(CopyFault::Segv),
-            "direct consumer must inherit the producer's fault"
-        );
-        prop_assert_eq!(
-            ds[2].fault(),
-            Some(CopyFault::Segv),
-            "transitive consumer must inherit the fault"
-        );
-        for (name, addr) in [("Y", y), ("Z", z)] {
-            let mut got = vec![0u8; len - PAGE_SIZE];
-            uspace.read_bytes(addr, &mut got).unwrap();
-            prop_assert!(
-                got.iter().all(|&b| b == 0),
-                "{name} must stay untouched after its producer was poisoned"
+            let mut sim = Sim::new();
+            let h = sim.handle();
+            let machine = Machine::new(&h, 2);
+            let os = Os::boot(&h, machine, 4096);
+            let svc = os.install_copier(
+                vec![os.machine.core(1)],
+                CopierConfig {
+                    use_dma: true,
+                    ..Default::default()
+                },
             );
-        }
-        let st = svc.stats();
-        prop_assert!(
-            st.dependents_aborted >= 2,
-            "dependency-ordered aborts not counted: {}",
-            st.dependents_aborted
-        );
-        prop_assert_eq!(os.pm.pinned_frames(), 0, "pins leaked on the fault path");
-        Ok(())
+            let proc = os.spawn_process();
+            let lib = proc.lib();
+            let uspace = Rc::clone(&lib.uspace);
+
+            // W (fully mapped) → X (one page short: the producer faults) →
+            // Y → Z. Only the W→X copy touches unmapped memory; X→Y and
+            // Y→Z are well-formed on their own and must die by taint alone.
+            let w = uspace.mmap(len, Prot::RW, true).unwrap();
+            let x = uspace.mmap(len - PAGE_SIZE, Prot::RW, true).unwrap();
+            let y = uspace.mmap(len - PAGE_SIZE, Prot::RW, true).unwrap();
+            let z = uspace.mmap(len - PAGE_SIZE, Prot::RW, true).unwrap();
+            uspace.write_bytes(w, &pattern(0, seed, len)).unwrap();
+
+            let descrs: Rc<RefCell<Vec<Rc<SegDescriptor>>>> = Rc::new(RefCell::new(Vec::new()));
+            let d2 = Rc::clone(&descrs);
+            let lib2 = Rc::clone(&lib);
+            let svc2 = Rc::clone(&svc);
+            let core = os.machine.core(0);
+            sim.spawn("client", async move {
+                let a = lib2.amemcpy(&core, x, w, len).await.expect("admitted");
+                let b = lib2
+                    .amemcpy(&core, y, x, len - PAGE_SIZE)
+                    .await
+                    .expect("admitted");
+                let c = lib2
+                    .amemcpy(&core, z, y, len - PAGE_SIZE)
+                    .await
+                    .expect("admitted");
+                let _ = lib2.csync_all(&core).await;
+                d2.borrow_mut().extend([a, b, c]);
+                svc2.stop();
+            });
+            sim.run();
+
+            let ds = descrs.borrow();
+            prop_assert_eq!(ds[0].fault(), Some(CopyFault::Segv), "producer must fault");
+            prop_assert_eq!(
+                ds[1].fault(),
+                Some(CopyFault::Segv),
+                "direct consumer must inherit the producer's fault"
+            );
+            prop_assert_eq!(
+                ds[2].fault(),
+                Some(CopyFault::Segv),
+                "transitive consumer must inherit the fault"
+            );
+            for (name, addr) in [("Y", y), ("Z", z)] {
+                let mut got = vec![0u8; len - PAGE_SIZE];
+                uspace.read_bytes(addr, &mut got).unwrap();
+                prop_assert!(
+                    got.iter().all(|&b| b == 0),
+                    "{name} must stay untouched after its producer was poisoned"
+                );
+            }
+            let st = svc.stats();
+            prop_assert!(
+                st.dependents_aborted >= 2,
+                "dependency-ordered aborts not counted: {}",
+                st.dependents_aborted
+            );
+            assert_no_pinned_leaks(&os.pm);
+            Ok(())
         },
     );
 }
@@ -501,7 +531,7 @@ fn munmap_race_is_pinned_or_poisoned() {
         let svc2 = Rc::clone(&svc);
         let core = os.machine.core(0);
         sim.spawn("client", async move {
-            let d = lib2.amemcpy(&core, dst, src, len).await;
+            let d = lib2.amemcpy(&core, dst, src, len).await.expect("admitted");
             let _ = lib2.csync_all(&core).await;
             dd.borrow_mut().replace(d);
             svc2.stop();
@@ -518,6 +548,6 @@ fn munmap_race_is_pinned_or_poisoned() {
             uspace.read_bytes(dst, &mut got).unwrap();
             assert_eq!(got, pattern(0, seed, len), "seed {seed}: torn copy");
         }
-        assert_eq!(os.pm.pinned_frames(), 0, "seed {seed}: pins leaked");
+        assert_no_pinned_leaks(&os.pm);
     }
 }

@@ -95,9 +95,7 @@ fn ufunc_handler_observes_poison() {
 #[test]
 fn handlers_still_fire_clean_on_success() {
     let len = 2 * PAGE_SIZE;
-    let (seen, descr) = run_with_handler(len, len, |d, o| {
-        Handler::UFunc(Rc::new(observe(d, o)))
-    });
+    let (seen, descr) = run_with_handler(len, len, |d, o| Handler::UFunc(Rc::new(observe(d, o))));
     assert!(descr.all_ready());
     assert_eq!(
         *seen.borrow(),

@@ -1,0 +1,504 @@
+//! Overload robustness: admission control, credit backpressure, and
+//! memory-pressure graceful degradation (DESIGN.md §Overload model).
+//!
+//! Acceptance properties:
+//!
+//! 1. open-loop overload at 2× saturation keeps goodput ≥ 80% of peak —
+//!    no congestion collapse — and no tenant falls below half its fair
+//!    share (priority-aware shedding + copy-length CFS);
+//! 2. the same seed reproduces byte-identical outcomes;
+//! 3. a too-tight global watermark sheds with typed `Overloaded` faults
+//!    while the least-served tenant is exempted from shedding;
+//! 4. under memory pressure the service degrades to the unpinned
+//!    synchronous path with correct bytes, and recovers automatically
+//!    once pressure clears;
+//! 5. `reap_client` returns every quota: credits, in-flight counters,
+//!    pinned frames, and the global admitted window;
+//! 6. every client submission terminates — success, bounded-backoff
+//!    retry, or typed error — even against a service that never runs.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use copier::client::{AmemcpyOpts, CopierHandle};
+use copier::core::{AdmissionConfig, Copier, CopierConfig, CopierStats};
+use copier::hw::CostModel;
+use copier::mem::{AddressSpace, AllocPolicy, PhysMem, Prot, VirtAddr};
+use copier::sim::{Machine, Nanos, Sim, WorkloadConfig, WorkloadPlan};
+use copier_testkit::prop::{check_with, Config};
+use copier_testkit::{assert_no_pinned_leaks, prop_assert, prop_assert_eq, TestRng};
+
+const TENANTS: usize = 4;
+const HORIZON: Nanos = Nanos::from_millis(2);
+const LEN_MIN: usize = 16 * 1024;
+const LEN_MAX: usize = 64 * 1024;
+/// Nominal single-core service copy bandwidth, bytes/ns.
+const SAT_RATE: f64 = 10.0;
+const POOL: usize = 8;
+
+fn tight_admission() -> AdmissionConfig {
+    AdmissionConfig {
+        max_client_tasks: 64,
+        max_client_bytes: 4 * 1024 * 1024,
+        max_client_pinned: 4096,
+        global_high_bytes: 8 * 1024 * 1024,
+        global_low_bytes: 6 * 1024 * 1024,
+    }
+}
+
+struct Out {
+    goodput: f64,
+    per_tenant: Vec<u64>,
+    client_rejected: u64,
+    stats: CopierStats,
+    end: Nanos,
+}
+
+/// Open-loop multi-tenant run at `load` × nominal saturation. Mirrors the
+/// `fig_overload` bench harness.
+fn run(load: f64, seed: u64, admission: AdmissionConfig, pressured: bool) -> Out {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, TENANTS + 1);
+    let pm = Rc::new(PhysMem::new(8192, AllocPolicy::Scattered));
+    let cost = Rc::new(CostModel::default());
+    let svc = Copier::new(
+        &h,
+        Rc::clone(&pm),
+        vec![machine.core(TENANTS)],
+        cost,
+        CopierConfig {
+            admission,
+            ..CopierConfig::default()
+        },
+    );
+    svc.start();
+
+    let mean_len = (LEN_MIN + LEN_MAX) as f64 / 2.0;
+    let gap = (mean_len * TENANTS as f64 / (load * SAT_RATE)) as u64;
+    let plan = WorkloadPlan::new(WorkloadConfig {
+        seed,
+        tenants: TENANTS,
+        mean_gap: Nanos(gap.max(1)),
+        len_min: LEN_MIN,
+        len_max: LEN_MAX,
+        horizon: HORIZON,
+    });
+
+    let mut tenants = Vec::new();
+    for t in 0..TENANTS {
+        let space = AddressSpace::new(t as u32 + 1, Rc::clone(&pm));
+        let lib = CopierHandle::new(&svc, Rc::clone(&space));
+        let pool: Vec<(VirtAddr, VirtAddr)> = (0..POOL)
+            .map(|_| {
+                (
+                    space.mmap(LEN_MAX, Prot::RW, true).unwrap(),
+                    space.mmap(LEN_MAX, Prot::RW, true).unwrap(),
+                )
+            })
+            .collect();
+        tenants.push((lib, pool));
+    }
+    if pressured {
+        let hi = pm.allocated().max(2);
+        pm.set_watermarks(hi - 1, hi);
+    }
+
+    let client_rejected = Rc::new(Cell::new(0u64));
+    let done = Rc::new(Cell::new(0usize));
+    for (t, (lib, pool)) in tenants.iter().enumerate() {
+        let lib = Rc::clone(lib);
+        let pool = pool.clone();
+        let arrivals = plan.tenant(t).to_vec();
+        let core = machine.core(t);
+        let h2 = h.clone();
+        let rej = Rc::clone(&client_rejected);
+        let done2 = Rc::clone(&done);
+        sim.spawn("tenant", async move {
+            for (i, a) in arrivals.iter().enumerate() {
+                let now = h2.now();
+                if a.at > now {
+                    h2.sleep(a.at - now).await;
+                }
+                let (src, dst) = pool[i % POOL];
+                if lib
+                    .try_amemcpy(&core, dst, src, a.len, AmemcpyOpts::default())
+                    .await
+                    .is_err()
+                {
+                    rej.set(rej.get() + 1);
+                }
+            }
+            done2.set(done2.get() + 1);
+        });
+    }
+
+    let svc2 = Rc::clone(&svc);
+    let h2 = h.clone();
+    let done2 = Rc::clone(&done);
+    let end = Rc::new(Cell::new(Nanos::ZERO));
+    let end2 = Rc::clone(&end);
+    sim.spawn("driver", async move {
+        while done2.get() < TENANTS {
+            h2.sleep(Nanos::from_micros(20)).await;
+        }
+        let mut stable = 0;
+        while stable < 3 {
+            h2.sleep(Nanos::from_micros(10)).await;
+            stable = if svc2.admitted_bytes() == 0 {
+                stable + 1
+            } else {
+                0
+            };
+        }
+        end2.set(h2.now());
+        svc2.stop();
+    });
+    sim.run();
+
+    assert_no_pinned_leaks(&pm);
+    let per_tenant: Vec<u64> = tenants
+        .iter()
+        .map(|(lib, _)| lib.client.copied_total.get())
+        .collect();
+    let served: u64 = per_tenant.iter().sum();
+    Out {
+        goodput: served as f64 / end.get().as_nanos() as f64,
+        per_tenant,
+        client_rejected: client_rejected.get(),
+        stats: svc.stats(),
+        end: end.get(),
+    }
+}
+
+fn stats_key(s: &CopierStats) -> Vec<u64> {
+    vec![
+        s.tasks_completed,
+        s.bytes_copied,
+        s.bytes_absorbed,
+        s.syncs,
+        s.aborts,
+        s.faults,
+        s.admission_rejected,
+        s.shed_bytes,
+        s.credits_granted,
+        s.degraded_sync_copies,
+        s.pressure_events,
+    ]
+}
+
+/// Acceptance 1: 2× saturation keeps goodput ≥ 80% of peak, and no
+/// tenant falls below half its fair share.
+#[test]
+fn overload_2x_keeps_goodput_and_fairness() {
+    let runs: Vec<Out> = [1.0, 2.0, 4.0]
+        .iter()
+        .map(|&l| run(l, 42, tight_admission(), false))
+        .collect();
+    let peak = runs.iter().map(|o| o.goodput).fold(0.0, f64::max);
+    let at2 = &runs[1];
+    assert!(
+        at2.goodput >= 0.8 * peak,
+        "goodput collapsed past saturation: {:.2} vs peak {:.2} B/ns",
+        at2.goodput,
+        peak
+    );
+    // Overload must actually be overload: the client library refused
+    // submissions rather than queueing without bound.
+    assert!(at2.client_rejected > 0, "2x load never hit backpressure");
+    let fair = at2.per_tenant.iter().sum::<u64>() / TENANTS as u64;
+    for (t, &served) in at2.per_tenant.iter().enumerate() {
+        assert!(
+            served >= fair / 2,
+            "tenant {t} starved: {served} served, fair share {fair}"
+        );
+    }
+}
+
+/// Acceptance 2: the same seed reproduces the identical outcome.
+#[test]
+fn overload_same_seed_identical_outcome() {
+    let a = run(2.0, 7, tight_admission(), false);
+    let b = run(2.0, 7, tight_admission(), false);
+    assert_eq!(a.per_tenant, b.per_tenant);
+    assert_eq!(a.client_rejected, b.client_rejected);
+    assert_eq!(stats_key(&a.stats), stats_key(&b.stats));
+    assert_eq!(a.end, b.end);
+}
+
+/// Acceptance 3: a too-tight global watermark sheds admitted work with
+/// typed `Overloaded` faults, but never starves a tenant (the
+/// least-served client is exempt from shedding).
+#[test]
+fn global_watermark_sheds_without_starvation() {
+    let admission = AdmissionConfig {
+        max_client_tasks: 256,
+        max_client_bytes: 64 * 1024 * 1024,
+        max_client_pinned: 4096,
+        global_high_bytes: 2 * 1024 * 1024,
+        global_low_bytes: 1024 * 1024,
+    };
+    let o = run(6.0, 13, admission, false);
+    assert!(
+        o.stats.admission_rejected > 0,
+        "global watermark never shed: {:?}",
+        stats_key(&o.stats)
+    );
+    assert!(o.stats.shed_bytes > 0);
+    assert!(o.goodput > 0.5 * SAT_RATE, "shedding collapsed goodput");
+    let fair = o.per_tenant.iter().sum::<u64>() / TENANTS as u64;
+    for (t, &served) in o.per_tenant.iter().enumerate() {
+        assert!(
+            served >= fair / 2,
+            "tenant {t} starved under shedding: {served} vs fair {fair}"
+        );
+    }
+}
+
+/// Acceptance 4a: under memory pressure every copy takes the degraded
+/// unpinned synchronous path — and the bytes are still correct.
+#[test]
+fn degraded_sync_copy_is_correct_under_pressure() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 2);
+    let pm = Rc::new(PhysMem::new(4096, AllocPolicy::Scattered));
+    let svc = Copier::new(
+        &h,
+        Rc::clone(&pm),
+        vec![machine.core(1)],
+        Rc::new(CostModel::default()),
+        CopierConfig::default(),
+    );
+    svc.start();
+    let space = AddressSpace::new(1, Rc::clone(&pm));
+    let lib = CopierHandle::new(&svc, Rc::clone(&space));
+    let core = machine.core(0);
+    let len = 128 * 1024;
+    let src = space.mmap(len, Prot::RW, true).unwrap();
+    let dst = space.mmap(len, Prot::RW, true).unwrap();
+    let data: Vec<u8> = (0..len).map(|i| (i % 249) as u8).collect();
+    space.write_bytes(src, &data).unwrap();
+    // Latch pressure before any copy runs.
+    let hi = pm.allocated().max(2);
+    pm.set_watermarks(hi - 1, hi);
+
+    let svc2 = Rc::clone(&svc);
+    let space2 = Rc::clone(&space);
+    sim.spawn("app", async move {
+        lib.amemcpy(&core, dst, src, len).await.unwrap();
+        lib.csync(&core, dst, len).await.unwrap();
+        let mut out = vec![0u8; len];
+        space2.read_bytes(dst, &mut out).unwrap();
+        assert_eq!(out, data, "degraded copy corrupted bytes");
+        svc2.stop();
+    });
+    sim.run();
+    let st = svc.stats();
+    assert!(st.degraded_sync_copies >= 1, "{st:?}");
+    assert!(st.pressure_events >= 1, "{st:?}");
+    assert_no_pinned_leaks(&pm);
+}
+
+/// Acceptance 4b: once allocation falls back under the low watermark the
+/// service leaves degraded mode on its own.
+#[test]
+fn pressure_recovery_reenables_async_path() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 2);
+    let pm = Rc::new(PhysMem::new(4096, AllocPolicy::Scattered));
+    let svc = Copier::new(
+        &h,
+        Rc::clone(&pm),
+        vec![machine.core(1)],
+        Rc::new(CostModel::default()),
+        CopierConfig::default(),
+    );
+    svc.start();
+    let space = AddressSpace::new(1, Rc::clone(&pm));
+    let lib = CopierHandle::new(&svc, Rc::clone(&space));
+    let core = machine.core(0);
+    let len = 64 * 1024;
+    let src = space.mmap(len, Prot::RW, true).unwrap();
+    let dst = space.mmap(len, Prot::RW, true).unwrap();
+    let hi = pm.allocated().max(2);
+    pm.set_watermarks(hi - 1, hi); // pressured now
+
+    let svc2 = Rc::clone(&svc);
+    let pm2 = Rc::clone(&pm);
+    sim.spawn("app", async move {
+        lib.amemcpy(&core, dst, src, len).await.unwrap();
+        lib.csync(&core, dst, len).await.unwrap();
+        let degraded_before = svc2.stats().degraded_sync_copies;
+        assert!(degraded_before >= 1, "pressure did not degrade");
+        // Relieve pressure: allocation is now at/below the low watermark.
+        let cap = pm2.capacity();
+        pm2.set_watermarks(pm2.allocated(), cap);
+        lib.amemcpy(&core, dst, src, len).await.unwrap();
+        lib.csync(&core, dst, len).await.unwrap();
+        assert_eq!(
+            svc2.stats().degraded_sync_copies,
+            degraded_before,
+            "service failed to leave degraded mode after recovery"
+        );
+        svc2.stop();
+    });
+    sim.run();
+    assert!(!pm.pressure(), "pressure latch stuck");
+    assert_no_pinned_leaks(&pm);
+}
+
+/// One randomized reap scenario: copies in flight, client dies at a
+/// seeded instant.
+#[derive(Debug, Clone)]
+struct ReapCase {
+    ncopies: usize,
+    len: usize,
+    kill_at: u64,
+}
+
+/// Satellite property: `reap_client` returns every quota — credits back
+/// to the cap, in-flight counters to zero, pinned frames released, and
+/// the client's share of the global admitted window returned.
+#[test]
+fn reap_returns_all_quota_credits_and_pins() {
+    let mut cfg = Config::from_env();
+    if std::env::var("TESTKIT_CASES").is_err() {
+        cfg.cases = 16;
+    }
+    check_with(
+        &cfg,
+        |rng: &mut TestRng| ReapCase {
+            ncopies: rng.range_usize(2, 8),
+            len: rng.range_usize(1, 5) * 64 * 1024,
+            kill_at: 1_000 + rng.next_u64() % 120_000,
+        },
+        |_| Vec::new(),
+        |case: &ReapCase| {
+            let mut sim = Sim::new();
+            let h = sim.handle();
+            let machine = Machine::new(&h, 2);
+            let pm = Rc::new(PhysMem::new(4096, AllocPolicy::Scattered));
+            let svc = Copier::new(
+                &h,
+                Rc::clone(&pm),
+                vec![machine.core(1)],
+                Rc::new(CostModel::default()),
+                CopierConfig::default(),
+            );
+            svc.start();
+            let space = AddressSpace::new(1, Rc::clone(&pm));
+            let lib = CopierHandle::new(&svc, Rc::clone(&space));
+            let core = machine.core(0);
+
+            let svc2 = Rc::clone(&svc);
+            let lib2 = Rc::clone(&lib);
+            let h2 = h.clone();
+            let kill_at = Nanos(case.kill_at);
+            sim.spawn("killer", async move {
+                h2.sleep(kill_at).await;
+                svc2.reap_client(&lib2.client);
+            });
+
+            let svc3 = Rc::clone(&svc);
+            let lib3 = Rc::clone(&lib);
+            let space2 = Rc::clone(&space);
+            let (ncopies, len) = (case.ncopies, case.len);
+            let h3 = h.clone();
+            sim.spawn("client", async move {
+                for _ in 0..ncopies {
+                    let src = space2.mmap(len, Prot::RW, true).unwrap();
+                    let dst = space2.mmap(len, Prot::RW, true).unwrap();
+                    // Rejections after death are expected; the property is
+                    // about what reaping returns, not what it admits.
+                    let _ = lib3.amemcpy(&core, dst, src, len).await;
+                }
+                let _ = lib3.csync_all(&core).await;
+                // Let the sweep and any in-flight work settle.
+                h3.sleep(Nanos::from_micros(500)).await;
+                svc3.stop();
+            });
+            sim.run();
+
+            let c = &lib.client;
+            prop_assert!(c.dead.get(), "client must be dead after reap");
+            prop_assert_eq!(
+                c.credits.get(),
+                c.credit_cap.get(),
+                "credits not fully returned"
+            );
+            prop_assert_eq!(c.inflight_tasks.get(), 0, "in-flight task quota leaked");
+            prop_assert_eq!(c.inflight_bytes.get(), 0, "in-flight byte quota leaked");
+            prop_assert_eq!(c.pinned.get(), 0, "pinned-frame quota leaked");
+            prop_assert_eq!(
+                svc.admitted_bytes(),
+                0,
+                "global admitted window not returned"
+            );
+            prop_assert_eq!(pm.pinned_frames(), 0, "physical pins leaked");
+            Ok(())
+        },
+    );
+}
+
+/// Satellite property: every submission terminates in bounded time with
+/// success or a typed error — even against a service that never runs a
+/// single round (the pathological worst case for spin-retry).
+#[test]
+fn submissions_always_terminate_with_typed_outcome() {
+    let mut cfg = Config::from_env();
+    if std::env::var("TESTKIT_CASES").is_err() {
+        cfg.cases = 12;
+    }
+    check_with(
+        &cfg,
+        |rng: &mut TestRng| (rng.range_usize(1200, 2500), rng.range_usize(1, 9) * 1024),
+        |_| Vec::new(),
+        |&(n, len): &(usize, usize)| {
+            let mut sim = Sim::new();
+            let h = sim.handle();
+            let machine = Machine::new(&h, 2);
+            let pm = Rc::new(PhysMem::new(8192, AllocPolicy::Scattered));
+            let svc = Copier::new(
+                &h,
+                Rc::clone(&pm),
+                vec![machine.core(1)],
+                Rc::new(CostModel::default()),
+                CopierConfig::default(),
+            );
+            // Deliberately never started: credits are never regranted and
+            // the ring is never drained.
+            let space = AddressSpace::new(1, Rc::clone(&pm));
+            let lib = CopierHandle::new(&svc, Rc::clone(&space));
+            let core = machine.core(0);
+            let ok = Rc::new(Cell::new(0usize));
+            let err = Rc::new(Cell::new(0usize));
+            let (ok2, err2) = (Rc::clone(&ok), Rc::clone(&err));
+            sim.spawn("flood", async move {
+                let src = space.mmap(len, Prot::RW, true).unwrap();
+                let dst = space.mmap(len, Prot::RW, true).unwrap();
+                for _ in 0..n {
+                    match lib.amemcpy(&core, dst, src, len).await {
+                        Ok(_) => ok2.set(ok2.get() + 1),
+                        Err(_) => err2.set(err2.get() + 1),
+                    }
+                }
+            });
+            // The sim terminating at all proves every submission returned
+            // (an unbounded spin would loop on virtual time forever).
+            sim.run();
+            prop_assert_eq!(ok.get() + err.get(), n, "a submission vanished");
+            prop_assert!(
+                err.get() > 0,
+                "flooding a dead service must surface typed errors"
+            );
+            prop_assert!(
+                ok.get() <= copier::core::DEFAULT_QUEUE_CAP,
+                "more successes than the credit cap allows: {}",
+                ok.get()
+            );
+            Ok(())
+        },
+    );
+}

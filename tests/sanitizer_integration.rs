@@ -37,7 +37,7 @@ fn sanitizer_catches_omitted_csync_in_a_real_run() {
         space.write_bytes(src, &[1u8; 4096]).unwrap();
 
         // Correctly synced access: clean.
-        lib.amemcpy(&core, dst, src, 4096).await;
+        lib.amemcpy(&core, dst, src, 4096).await.expect("admitted");
         san2.on_amemcpy(dst.0, src.0, 4096);
         lib.csync(&core, dst, 4096).await.unwrap();
         san2.on_csync(dst.0, 4096);
@@ -45,7 +45,7 @@ fn sanitizer_catches_omitted_csync_in_a_real_run() {
         assert!(san2.clean());
 
         // The bug: read the destination without csync.
-        lib.amemcpy(&core, dst, src, 4096).await;
+        lib.amemcpy(&core, dst, src, 4096).await.expect("admitted");
         san2.on_amemcpy(dst.0, src.0, 4096);
         san2.on_read(dst.0 + 100, 8, "parse before csync");
         assert!(!san2.clean(), "omitted csync must be reported");

@@ -53,7 +53,9 @@ fn no_alignment_requirement() {
         let dst = space.mmap(16 * 1024, Prot::RW, true).unwrap();
         let data = vec![0x5Au8; 7331];
         space.write_bytes(src.add(13), &data).unwrap();
-        lib.amemcpy(&core, dst.add(777), src.add(13), 7331).await;
+        lib.amemcpy(&core, dst.add(777), src.add(13), 7331)
+            .await
+            .expect("admitted");
         lib.csync(&core, dst.add(777), 7331).await.unwrap();
         let mut out = vec![0u8; 7331];
         space.read_bytes(dst.add(777), &mut out).unwrap();
@@ -87,7 +89,8 @@ fn cross_address_space_copy() {
                 ..Default::default()
             },
         )
-        .await;
+        .await
+        .expect("admitted");
         lib.csync_in(&core, b2.id(), dst, 19, 0).await.unwrap();
         let mut out = [0u8; 19];
         b2.read_bytes(dst, &mut out).unwrap();
@@ -111,7 +114,7 @@ fn submission_does_not_block() {
         let src = space.mmap(len, Prot::RW, true).unwrap();
         let dst = space.mmap(len, Prot::RW, true).unwrap();
         let t0 = h.now();
-        lib.amemcpy(&core, dst, src, len).await;
+        lib.amemcpy(&core, dst, src, len).await.expect("admitted");
         let submit_time = h.now() - t0;
         assert!(
             submit_time < Nanos::from_micros(1),
@@ -138,7 +141,7 @@ fn multiple_replicas_supported() {
         let mut dsts = Vec::new();
         for _ in 0..4 {
             let d = space.mmap(8192, Prot::RW, true).unwrap();
-            lib.amemcpy(&core, d, src, 12).await;
+            lib.amemcpy(&core, d, src, 12).await.expect("admitted");
             dsts.push(d);
         }
         lib.csync_all(&core).await.unwrap();
@@ -168,8 +171,8 @@ fn absorbs_redundant_copies() {
         let b = space.mmap(32 * 1024, Prot::RW, true).unwrap();
         let c = space.mmap(32 * 1024, Prot::RW, true).unwrap();
         space.write_bytes(a, &vec![9u8; 32 * 1024]).unwrap();
-        lib.amemcpy(&core, b, a, 32 * 1024).await;
-        lib.amemcpy(&core, c, b, 32 * 1024).await;
+        lib.amemcpy(&core, b, a, 32 * 1024).await.expect("admitted");
+        lib.amemcpy(&core, c, b, 32 * 1024).await.expect("admitted");
         lib.csync(&core, c, 32 * 1024).await.unwrap();
         assert!(svc.stats().bytes_absorbed > 0, "{:?}", svc.stats());
         let mut out = vec![0u8; 32 * 1024];
