@@ -1,0 +1,127 @@
+//! Minimal JSON emission for machine-readable bench output.
+//!
+//! The workspace is hermetic (no external crates), so the `BENCH_*.json`
+//! perf-trajectory files are written through this hand-rolled value tree
+//! rather than a serialization framework. Only what the bench targets
+//! need: objects, arrays, strings, numbers, booleans.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A float, printed with enough precision to round-trip typical
+    /// GB/s / milliseconds magnitudes. Non-finite values render as `null`
+    /// (JSON has no NaN/Inf).
+    Num(f64),
+    /// An integer, printed exactly.
+    Int(u64),
+    /// A string (escaped on output).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: insertion-ordered key/value pairs (deterministic output).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Writes the value to `path` with a trailing newline.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{self}")
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Num(x) if x.is_finite() => write!(f, "{x}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Int(x) => write!(f, "{x}"),
+            Json::Str(s) => escape(s, f),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_json() {
+        let v = Json::obj([
+            ("name", Json::Str("fig_hostperf".into())),
+            ("gbps", Json::Num(12.5)),
+            ("iters", Json::Int(3)),
+            ("ok", Json::Bool(true)),
+            (
+                "layouts",
+                Json::Arr(vec![Json::Str("contiguous".into()), Json::Num(0.25)]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"fig_hostperf","gbps":12.5,"iters":3,"ok":true,"layouts":["contiguous",0.25]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+}

@@ -5,6 +5,8 @@
 //! regenerates one table or figure of the paper; EXPERIMENTS.md records
 //! paper-vs-measured for each.
 
+pub mod json;
+
 use copier_sim::Nanos;
 
 /// Summary statistics over a latency sample set.
@@ -25,12 +27,21 @@ pub struct Stats {
 }
 
 /// Computes summary statistics (sorts the input).
+///
+/// Percentiles use the nearest-rank (ceiling) definition: the p-th
+/// percentile is the smallest sample with at least `⌈p·n⌉` samples at or
+/// below it. Rounding the rank instead (the classic off-by-one) reports
+/// a sample *below* the true p99 for small n — e.g. the 66th of 67
+/// samples instead of the 67th.
 pub fn stats(samples: &mut [Nanos]) -> Stats {
     assert!(!samples.is_empty());
     samples.sort();
     let n = samples.len();
     let sum: u64 = samples.iter().map(|s| s.as_nanos()).sum();
-    let pct = |p: f64| samples[(((n - 1) as f64) * p).round() as usize];
+    let pct = |p: f64| {
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        samples[rank - 1]
+    };
     Stats {
         avg: Nanos(sum / n as u64),
         p50: pct(0.50),
@@ -85,10 +96,31 @@ mod tests {
         let mut v: Vec<Nanos> = (1..=100).map(Nanos).collect();
         let s = stats(&mut v);
         assert_eq!(s.avg, Nanos(50));
-        assert_eq!(s.p50, Nanos(51)); // index round((n-1)*0.5) = 50 → value 51
-        assert_eq!(s.p99, Nanos(99));
+        assert_eq!(s.p50, Nanos(50)); // rank ⌈100·0.5⌉ = 50 → value 50
+        assert_eq!(s.p99, Nanos(99)); // rank ⌈100·0.99⌉ = 99
         assert_eq!(s.min, Nanos(1));
         assert_eq!(s.max, Nanos(100));
+    }
+
+    #[test]
+    fn stats_percentiles_small_n_use_ceil_rank() {
+        // With 67 samples, ⌈0.99·67⌉ = 67: p99 must be the maximum. The
+        // old round((n-1)·p) rank gave index 65 → value 66 (an
+        // underestimate).
+        let mut v: Vec<Nanos> = (1..=67).map(Nanos).collect();
+        let s = stats(&mut v);
+        assert_eq!(s.p99, Nanos(67));
+        assert_eq!(s.p50, Nanos(34)); // ⌈33.5⌉ = 34
+
+        let mut v: Vec<Nanos> = [10, 20, 30, 40].map(Nanos).to_vec();
+        let s = stats(&mut v);
+        assert_eq!(s.p50, Nanos(20)); // ⌈2.0⌉ = 2 → second sample
+        assert_eq!(s.p99, Nanos(40));
+
+        let mut v = vec![Nanos(7)];
+        let s = stats(&mut v);
+        assert_eq!(s.p50, Nanos(7));
+        assert_eq!(s.p99, Nanos(7));
     }
 
     #[test]

@@ -26,47 +26,32 @@ impl IntervalSet {
     }
 
     /// Inserts `[start, end)`, merging neighbours.
+    ///
+    /// Binary-searches the touched window (the ranges overlapping or
+    /// adjacent to the insertion), so progress bookkeeping on a task with
+    /// many disjoint landed pieces costs O(log n) plus the size of that
+    /// window — not a scan of every piece.
     pub fn insert(&mut self, start: usize, end: usize) {
         if start >= end {
             return;
         }
-        // Find insertion window: all ranges overlapping or adjacent.
-        let mut new_start = start;
-        let mut new_end = end;
-        let mut i = 0;
-        let mut remove_from = None;
-        let mut remove_to = 0;
-        while i < self.ranges.len() {
-            let (s, e) = self.ranges[i];
-            if e < start {
-                i += 1;
-                continue;
-            }
-            if s > end {
-                break;
-            }
-            // Overlapping or touching.
-            new_start = new_start.min(s);
-            new_end = new_end.max(e);
-            if remove_from.is_none() {
-                remove_from = Some(i);
-            }
-            remove_to = i + 1;
-            i += 1;
+        // First range that can merge: end >= start (adjacency included).
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        // Window of mergeable ranges: they begin at or before `end`. The
+        // window is almost always 0–2 ranges, so a linear walk from `lo`
+        // beats a second binary search.
+        let mut hi = lo;
+        while hi < self.ranges.len() && self.ranges[hi].0 <= end {
+            hi += 1;
         }
-        match remove_from {
-            Some(from) => {
-                self.ranges.drain(from..remove_to);
-                self.ranges.insert(from, (new_start, new_end));
-            }
-            None => {
-                let pos = self
-                    .ranges
-                    .iter()
-                    .position(|&(s, _)| s > start)
-                    .unwrap_or(self.ranges.len());
-                self.ranges.insert(pos, (new_start, new_end));
-            }
+        if lo == hi {
+            self.ranges.insert(lo, (start, end));
+            return;
+        }
+        let merged = (start.min(self.ranges[lo].0), end.max(self.ranges[hi - 1].1));
+        self.ranges[lo] = merged;
+        if hi - lo > 1 {
+            self.ranges.drain(lo + 1..hi);
         }
     }
 
@@ -75,20 +60,22 @@ impl IntervalSet {
         if start >= end {
             return;
         }
-        let mut out = Vec::with_capacity(self.ranges.len() + 1);
-        for &(s, e) in &self.ranges {
-            if e <= start || s >= end {
-                out.push((s, e));
-                continue;
-            }
-            if s < start {
-                out.push((s, start));
-            }
-            if e > end {
-                out.push((end, e));
-            }
+        // Window of ranges intersecting the removal (strict overlap only).
+        let lo = self.ranges.partition_point(|&(_, e)| e <= start);
+        let mut hi = lo;
+        while hi < self.ranges.len() && self.ranges[hi].0 < end {
+            hi += 1;
         }
-        self.ranges = out;
+        if lo == hi {
+            return;
+        }
+        // Up to two boundary slivers survive; splice them over the window
+        // in place instead of rebuilding the whole vector.
+        let (s_first, _) = self.ranges[lo];
+        let (_, e_last) = self.ranges[hi - 1];
+        let left = (s_first < start).then_some((s_first, start));
+        let right = (e_last > end).then_some((end, e_last));
+        self.ranges.splice(lo..hi, left.into_iter().chain(right));
     }
 
     /// Whether `[start, end)` is fully contained.
@@ -96,7 +83,10 @@ impl IntervalSet {
         if start >= end {
             return true;
         }
-        self.ranges.iter().any(|&(s, e)| s <= start && end <= e)
+        // Only the last range starting at or before `start` can contain
+        // the query (ranges are disjoint and sorted).
+        let i = self.ranges.partition_point(|&(s, _)| s <= start);
+        i > 0 && self.ranges[i - 1].1 >= end
     }
 
     /// Whether `[start, end)` intersects the set at all.
@@ -104,7 +94,9 @@ impl IntervalSet {
         if start >= end {
             return false;
         }
-        self.ranges.iter().any(|&(s, e)| s < end && e > start)
+        // First range ending after `start` is the only candidate.
+        let i = self.ranges.partition_point(|&(_, e)| e <= start);
+        i < self.ranges.len() && self.ranges[i].0 < end
     }
 
     /// Total bytes covered.
@@ -121,10 +113,9 @@ impl IntervalSet {
     pub fn gaps(&self, start: usize, end: usize) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         let mut cur = start;
-        for &(s, e) in &self.ranges {
-            if e <= cur {
-                continue;
-            }
+        // Skip straight to the first range that can affect the query.
+        let lo = self.ranges.partition_point(|&(_, e)| e <= start);
+        for &(s, e) in &self.ranges[lo..] {
             if s >= end {
                 break;
             }
@@ -145,7 +136,11 @@ impl IntervalSet {
     /// The parts of `[start, end)` covered by the set, in order.
     pub fn overlaps(&self, start: usize, end: usize) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
-        for &(s, e) in &self.ranges {
+        let first = self.ranges.partition_point(|&(_, e)| e <= start);
+        for &(s, e) in &self.ranges[first..] {
+            if s >= end {
+                break;
+            }
             let lo = s.max(start);
             let hi = e.min(end);
             if lo < hi {

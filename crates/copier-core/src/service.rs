@@ -23,7 +23,9 @@ use copier_hw::{
     slice_extents, split_subtasks, ATCache, CostModel, CpuCopyKind, DispatchReport, Dispatcher,
     DmaEngine, PlannedCopy, ProgressFn,
 };
-use copier_mem::{AddressSpace, Extent, FrameId, MemError, PhysMem, VirtAddr, PAGE_SIZE};
+use copier_mem::{
+    frames_of, AddressSpace, Extent, FrameId, MemError, PhysMem, VirtAddr, PAGE_SIZE,
+};
 use copier_sim::{Core, Nanos, Notify, SimHandle};
 
 use crate::absorb::{self, AbsorbPlan};
@@ -33,6 +35,10 @@ use crate::descriptor::CopyFault;
 use crate::interval::IntervalSet;
 use crate::sched::Scheduler;
 use crate::task::{CopyTask, Handler, QueueEntry, SyncTask, TaskId};
+
+/// Per-thread dispatch progress map, reused across rounds (cleared, not
+/// reallocated — host-only optimization).
+type ByTidMap = Rc<RefCell<BTreeMap<TaskId, Rc<PendEntry>>>>;
 
 /// Aggregate service statistics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -266,6 +272,11 @@ impl Copier {
     async fn thread_loop(self: Rc<Self>, idx: usize) {
         let core = Rc::clone(&self.cores[idx]);
         let mut idle_streak = 0u32;
+        // Per-thread round scratch: the dispatch progress map is cleared
+        // and refilled each round instead of reallocated. Each thread owns
+        // its own, and a round's DMA callbacks all settle before
+        // `execute_batch` returns, so clearing at the next round is safe.
+        let by_tid: ByTidMap = Rc::new(RefCell::new(BTreeMap::new()));
         loop {
             if self.stopping.get() {
                 return;
@@ -285,7 +296,7 @@ impl Copier {
                 core.advance(self.cfg.wake_latency).await;
                 continue;
             }
-            let did = self.round(idx, &core).await;
+            let did = self.round(idx, &core, &by_tid).await;
             if idx == 0 && self.cfg.auto_scale {
                 self.autoscale();
             }
@@ -365,7 +376,7 @@ impl Copier {
     }
 
     /// One service round. Returns whether any work was done.
-    async fn round(self: &Rc<Self>, idx: usize, core: &Rc<Core>) -> bool {
+    async fn round(self: &Rc<Self>, idx: usize, core: &Rc<Core>, by_tid: &ByTidMap) -> bool {
         let clients = self.assigned(idx);
         // 1. Drain queues into windows.
         let mut drained = 0usize;
@@ -427,7 +438,7 @@ impl Copier {
             return drained + synced > 0;
         }
         // 5–7. Plan, dispatch, complete.
-        self.execute(core, &client, selected).await;
+        self.execute(core, &client, selected, by_tid).await;
         true
     }
 
@@ -786,8 +797,11 @@ impl Copier {
         // line): the first walk pays full price, the rest a quarter.
         let walk_cost =
             Nanos(self.cost.pte_walk.as_nanos() + (pages - 1) * self.cost.pte_walk.as_nanos() / 4);
-        match space.resolve_and_pin_range(va, len, write) {
-            Ok((frames, work)) => {
+        // Batched gather path: one page-table walk resolves, pins, and
+        // emits the extents. Fault accounting — and therefore every charged
+        // duration below — is identical to the per-page reference path.
+        match space.resolve_and_pin_range_extents(va, len, write) {
+            Ok((extents, frames, work)) => {
                 // Charge the walk and any proactive fault handling.
                 let mut cost = walk_cost;
                 let faults = (work.demand_zero + work.cow_remap + work.cow_copy) as u64;
@@ -797,7 +811,6 @@ impl Copier {
                 }
                 core.advance(cost).await;
                 self.stats.borrow_mut().proactive_faults += faults;
-                let extents = space.extents(va, len).expect("extents exist after resolve");
                 self.atcache.insert(space, va, len, extents.clone());
                 Ok((extents, frames))
             }
@@ -812,14 +825,20 @@ impl Copier {
     }
 
     /// Plans, dispatches, and completes a selected batch.
-    async fn execute(self: &Rc<Self>, core: &Rc<Core>, client: &Rc<Client>, sel: Vec<Selected>) {
+    async fn execute(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        client: &Rc<Client>,
+        sel: Vec<Selected>,
+        by_tid: &ByTidMap,
+    ) {
         let now = self.h.now();
         if self.pm.pressure() {
             self.execute_degraded(core, client, &sel, now).await;
             return;
         }
         let mut planned: Vec<PlannedCopy> = Vec::new();
-        let mut by_tid: BTreeMap<TaskId, Rc<PendEntry>> = BTreeMap::new();
+        by_tid.borrow_mut().clear();
         let mut live: Vec<&Selected> = Vec::new();
         let mut planned_bytes = 0usize;
 
@@ -849,7 +868,7 @@ impl Copier {
                         e.inflight.borrow_mut().insert(lo, hi);
                         e.deferred.borrow_mut().remove(lo, hi);
                     }
-                    by_tid.insert(e.tid, Rc::clone(e));
+                    by_tid.borrow_mut().insert(e.tid, Rc::clone(e));
                     planned.push(pc);
                     live.push(s);
                 }
@@ -868,11 +887,13 @@ impl Copier {
         }
 
         if !planned.is_empty() {
-            let map = Rc::new(by_tid);
-            let map2 = Rc::clone(&map);
+            let map = Rc::clone(by_tid);
             let progress: ProgressFn = Rc::new(move |tid, off, len| {
-                if let Some(e) = map2.get(&tid) {
-                    mark_progress(e, off, len);
+                // Clone out of the map before marking: the short borrow
+                // never outlives the callback's own bookkeeping.
+                let entry = map.borrow().get(&tid).cloned();
+                if let Some(e) = entry {
+                    mark_progress(&e, off, len);
                 }
             });
             let report = self
@@ -1278,16 +1299,4 @@ fn mark_progress(e: &Rc<PendEntry>, off: usize, len: usize) {
             d.mark(i);
         }
     }
-}
-
-/// The frames spanned by a list of extents (for pinning).
-fn frames_of(extents: &[Extent]) -> Vec<FrameId> {
-    let mut out = Vec::new();
-    for e in extents {
-        let pages = (e.off + e.len).div_ceil(PAGE_SIZE);
-        for p in 0..pages {
-            out.push(FrameId(e.frame.0 + p as u32));
-        }
-    }
-    out
 }

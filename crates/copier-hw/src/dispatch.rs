@@ -15,6 +15,7 @@
 //! Progress callbacks fire per subtask the moment its bytes land (from the
 //! device task for DMA subtasks), driving fine-grained descriptor updates.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use copier_mem::PhysMem;
@@ -56,12 +57,27 @@ pub struct DispatchReport {
 /// Progress notification: `(task_id, offset_within_task, len)`.
 pub type ProgressFn = Rc<dyn Fn(u64, usize, usize)>;
 
+/// Per-batch working vectors, kept across rounds so steady-state dispatch
+/// does no per-round heap allocation (host-only; plans are unchanged).
+#[derive(Default)]
+struct Scratch {
+    /// Re-chunked batch (`normalize` output).
+    normalized: Vec<PlannedCopy>,
+    /// Per-(task, subtask) DMA assignment (`plan` output).
+    assign: Vec<Vec<bool>>,
+    /// Recycled inner vectors for `normalized`.
+    subtask_pool: Vec<Vec<SubTask>>,
+    /// Recycled inner vectors for `assign`.
+    bool_pool: Vec<Vec<bool>>,
+}
+
 /// The hardware dispatcher.
 pub struct Dispatcher {
     pm: Rc<PhysMem>,
     cost: Rc<CostModel>,
     cpu: CpuUnit,
     dma: Option<Rc<DmaEngine>>,
+    scratch: RefCell<Scratch>,
 }
 
 impl Dispatcher {
@@ -69,7 +85,13 @@ impl Dispatcher {
     /// hardware ablation of Fig. 12-c).
     pub fn new(pm: Rc<PhysMem>, cost: Rc<CostModel>, dma: Option<Rc<DmaEngine>>) -> Self {
         let cpu = CpuUnit::new(CpuCopyKind::Avx2, Rc::clone(&cost));
-        Dispatcher { pm, cost, cpu, dma }
+        Dispatcher {
+            pm,
+            cost,
+            cpu,
+            dma,
+            scratch: RefCell::new(Scratch::default()),
+        }
     }
 
     /// Whether a DMA engine is attached.
@@ -90,47 +112,75 @@ impl Dispatcher {
     /// Re-chunks any subtask larger than [`CostModel::max_subtask`] so the
     /// piggyback split has balancing granularity.
     pub fn normalize(&self, batch: &[PlannedCopy]) -> Vec<PlannedCopy> {
+        let mut out = Vec::new();
+        self.normalize_into(batch, &mut out, &mut Vec::new());
+        out
+    }
+
+    /// [`Self::normalize`] into caller-owned storage, drawing inner vectors
+    /// from `pool` instead of the allocator.
+    fn normalize_into(
+        &self,
+        batch: &[PlannedCopy],
+        out: &mut Vec<PlannedCopy>,
+        pool: &mut Vec<Vec<SubTask>>,
+    ) {
         let max = self.cost.max_subtask.max(4096);
-        batch
-            .iter()
-            .map(|t| {
-                let mut subtasks = Vec::with_capacity(t.subtasks.len());
-                for st in &t.subtasks {
-                    if st.len() <= max {
-                        subtasks.push(*st);
-                        continue;
-                    }
-                    let mut off = 0usize;
-                    while off < st.len() {
-                        let take = (st.len() - off).min(max);
-                        subtasks.push(SubTask {
-                            task_off: st.task_off + off,
-                            src: crate::units::slice_extents(&[st.src], off, take)[0],
-                            dst: crate::units::slice_extents(&[st.dst], off, take)[0],
-                        });
-                        off += take;
-                    }
+        out.clear();
+        for t in batch {
+            let mut subtasks = pool.pop().unwrap_or_default();
+            debug_assert!(subtasks.is_empty());
+            for st in &t.subtasks {
+                if st.len() <= max {
+                    subtasks.push(*st);
+                    continue;
                 }
-                PlannedCopy {
-                    task_id: t.task_id,
-                    len: t.len,
-                    subtasks,
+                let mut off = 0usize;
+                while off < st.len() {
+                    let take = (st.len() - off).min(max);
+                    subtasks.push(SubTask {
+                        task_off: st.task_off + off,
+                        src: crate::units::slice_extents(&[st.src], off, take)[0],
+                        dst: crate::units::slice_extents(&[st.dst], off, take)[0],
+                    });
+                    off += take;
                 }
-            })
-            .collect()
+            }
+            out.push(PlannedCopy {
+                task_id: t.task_id,
+                len: t.len,
+                subtasks,
+            });
+        }
     }
 
     /// Plans a batch: returns per-(batch-index, subtask) assignments,
     /// `true` meaning DMA. Exposed for tests and ablation studies.
     pub fn plan(&self, batch: &[PlannedCopy]) -> Vec<Vec<bool>> {
-        let mut assign: Vec<Vec<bool>> = batch
-            .iter()
-            .map(|t| vec![false; t.subtasks.len()])
-            .collect();
+        let mut assign = Vec::new();
+        self.plan_into(batch, &mut assign, &mut Vec::new());
+        assign
+    }
+
+    /// [`Self::plan`] into caller-owned storage, drawing inner vectors from
+    /// `pool` instead of the allocator.
+    fn plan_into(
+        &self,
+        batch: &[PlannedCopy],
+        assign: &mut Vec<Vec<bool>>,
+        pool: &mut Vec<Vec<bool>>,
+    ) {
+        assign.clear();
+        for t in batch {
+            let mut row = pool.pop().unwrap_or_default();
+            debug_assert!(row.is_empty());
+            row.resize(t.subtasks.len(), false);
+            assign.push(row);
+        }
         // A fully quarantined engine is as good as absent: plan pure CPU.
         let live = self.dma.as_ref().map_or(0, |d| d.live_channels());
         if live == 0 {
-            return assign;
+            return;
         }
         // Balance against the bytes actually in this round's subtasks (a
         // copy-slice round may carry only part of a large task).
@@ -142,7 +192,7 @@ impl Dispatcher {
         let fused_small = batch.len() > 1;
         if !(single_large || fused_small) {
             // A lone small task: submission overhead not worth it.
-            return assign;
+            return;
         }
         // Target DMA bytes so AVX and DMA finish together.
         let target = (total as f64 * self.cost.dma_share()) as usize;
@@ -164,7 +214,6 @@ impl Dispatcher {
                 }
             }
         }
-        assign
     }
 
     /// Executes a batch of independent copies on the given copier core,
@@ -175,8 +224,13 @@ impl Dispatcher {
         batch: &[PlannedCopy],
         progress: ProgressFn,
     ) -> DispatchReport {
-        let batch = &self.normalize(batch);
-        let assign = self.plan(batch);
+        // Take the scratch by value: nothing borrows the cell across an
+        // await, and a re-entrant call simply starts from an empty default.
+        let mut scr = self.scratch.take();
+        self.normalize_into(batch, &mut scr.normalized, &mut scr.subtask_pool);
+        self.plan_into(&scr.normalized, &mut scr.assign, &mut scr.bool_pool);
+        let batch = &scr.normalized;
+        let assign = &scr.assign;
         let mut report = DispatchReport::default();
         let mut completions = Vec::new();
 
@@ -302,6 +356,16 @@ impl Dispatcher {
                 }
             }
         }
+        // Recycle the round's vectors for the next batch.
+        for mut t in scr.normalized.drain(..) {
+            t.subtasks.clear();
+            scr.subtask_pool.push(t.subtasks);
+        }
+        for mut row in scr.assign.drain(..) {
+            row.clear();
+            scr.bool_pool.push(row);
+        }
+        *self.scratch.borrow_mut() = scr;
         report
     }
 }

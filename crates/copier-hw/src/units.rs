@@ -106,26 +106,13 @@ pub fn slice_extents(extents: &[Extent], off: usize, len: usize) -> Vec<Extent> 
     out
 }
 
-/// Physically copies one contiguous extent pair (page by page within the
-/// contiguous run). This is the real data movement of the simulation.
+/// Physically copies one contiguous extent pair. This is the real data
+/// movement of the simulation: both sides are physically contiguous runs,
+/// so the whole pair is one `memcpy` (or `memmove` when they overlap)
+/// through the frame arena — no per-page tiling on the host.
 pub fn copy_extent_pair(pm: &PhysMem, dst: Extent, src: Extent) {
     debug_assert_eq!(dst.len, src.len);
-    let mut done = 0usize;
-    while done < src.len {
-        let s_abs = src.off + done;
-        let d_abs = dst.off + done;
-        let (sf, so) = (
-            FrameId(src.frame.0 + (s_abs / PAGE_SIZE) as u32),
-            s_abs % PAGE_SIZE,
-        );
-        let (df, do_) = (
-            FrameId(dst.frame.0 + (d_abs / PAGE_SIZE) as u32),
-            d_abs % PAGE_SIZE,
-        );
-        let take = (src.len - done).min(PAGE_SIZE - so).min(PAGE_SIZE - do_);
-        pm.copy(df, do_, sf, so, take);
-        done += take;
-    }
+    pm.copy_run(dst.frame, dst.off, src.frame, src.off, src.len);
 }
 
 /// A CPU copy unit: executes subtasks synchronously on the caller's core,

@@ -14,5 +14,6 @@ pub mod space;
 
 pub use phys::{AllocPolicy, FrameId, PhysError, PhysMem, PAGE_SIZE};
 pub use space::{
-    AddressSpace, AsId, Extent, FaultWork, MemError, Prot, Pte, VirtAddr, KERNEL_BASE, USER_BASE,
+    frames_of, AddressSpace, AsId, Extent, FaultWork, MemError, Prot, Pte, VirtAddr, KERNEL_BASE,
+    USER_BASE,
 };

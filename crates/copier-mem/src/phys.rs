@@ -8,6 +8,22 @@
 //!
 //! All frame data is real memory: copies through this module genuinely move
 //! bytes, so correctness (not just timing) is testable end to end.
+//!
+//! ## Arena backing
+//!
+//! The pool's bytes live in one flat *arena* (`frames × 4 KiB`, allocated
+//! zeroed once — the host OS commits its pages lazily on first touch), with
+//! per-frame bookkeeping in a flat metadata table. Frame `f` occupies arena
+//! bytes `[f·4096, (f+1)·4096)`, so a run of physically contiguous frames is
+//! a single contiguous arena slice and the batched primitives
+//! ([`PhysMem::copy_run`], [`PhysMem::read_run`], [`PhysMem::write_run`])
+//! move a whole multi-page run with one borrow and one `memcpy`/`memmove`
+//! instead of a cell borrow plus bounds dance per 4 KiB page. The per-page
+//! path is kept as [`PhysMem::copy_run_paged`] — the baseline the
+//! `fig_hostperf` bench compares against.
+//!
+//! Only host wall-clock changes: virtual-time costs are charged by callers
+//! from byte counts, which the arena leaves untouched.
 
 use std::cell::{Cell, RefCell};
 
@@ -28,13 +44,15 @@ pub enum AllocPolicy {
     Scattered,
 }
 
-struct FrameSlot {
-    /// Lazily allocated backing data; `None` until first touched.
-    data: RefCell<Option<Box<[u8]>>>,
+/// Flat per-frame metadata; the data itself lives in the shared arena.
+struct FrameMeta {
     /// CoW sharing count. 0 = free.
     refcnt: Cell<u16>,
     /// Pin count — a pinned frame's mapping must not be torn down (§4.5.4).
     pins: Cell<u16>,
+    /// Whether the frame was ever allocated: its arena bytes may be dirty
+    /// and must be re-zeroed on the next allocation (fresh frames read 0).
+    touched: Cell<bool>,
 }
 
 /// Errors from the physical allocator.
@@ -49,7 +67,9 @@ pub enum PhysError {
 
 /// A fixed-capacity pool of frames.
 pub struct PhysMem {
-    slots: Vec<FrameSlot>,
+    /// One allocation backing every frame's bytes.
+    arena: RefCell<Box<[u8]>>,
+    meta: Vec<FrameMeta>,
     free: RefCell<Vec<FrameId>>,
     policy: Cell<AllocPolicy>,
     allocated: Cell<usize>,
@@ -72,11 +92,11 @@ impl PhysMem {
     /// permutation so runs are reproducible.
     pub fn new(frames: usize, policy: AllocPolicy) -> Self {
         assert!(frames > 0 && frames < u32::MAX as usize);
-        let slots = (0..frames)
-            .map(|_| FrameSlot {
-                data: RefCell::new(None),
+        let meta = (0..frames)
+            .map(|_| FrameMeta {
                 refcnt: Cell::new(0),
                 pins: Cell::new(0),
+                touched: Cell::new(false),
             })
             .collect();
         let mut free: Vec<FrameId> = (0..frames as u32).map(FrameId).collect();
@@ -93,7 +113,8 @@ impl PhysMem {
         // Pop from the back; reverse so low ids come out first under Sequential.
         free.reverse();
         PhysMem {
-            slots,
+            arena: RefCell::new(vec![0u8; frames * PAGE_SIZE].into_boxed_slice()),
+            meta,
             free: RefCell::new(free),
             policy: Cell::new(policy),
             allocated: Cell::new(0),
@@ -108,7 +129,7 @@ impl PhysMem {
 
     /// Total frames in the pool.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.meta.len()
     }
 
     /// Frames currently allocated.
@@ -124,14 +145,14 @@ impl PhysMem {
     /// Allocates one frame with refcount 1. Its contents are zeroed.
     pub fn alloc(&self) -> Result<FrameId, PhysError> {
         let f = self.free.borrow_mut().pop().ok_or(PhysError::OutOfMemory)?;
-        let slot = &self.slots[f.0 as usize];
+        let slot = &self.meta[f.0 as usize];
         debug_assert_eq!(slot.refcnt.get(), 0);
         slot.refcnt.set(1);
-        // Zero (or lazily create) the data: fresh frames must read as zero.
-        let mut data = slot.data.borrow_mut();
-        match data.as_mut() {
-            Some(d) => d.fill(0),
-            None => *data = Some(vec![0u8; PAGE_SIZE].into_boxed_slice()),
+        // Fresh frames must read as zero; the arena starts zeroed, so only
+        // previously used frames pay for re-zeroing.
+        if slot.touched.replace(true) {
+            let base = f.0 as usize * PAGE_SIZE;
+            self.arena.borrow_mut()[base..base + PAGE_SIZE].fill(0);
         }
         self.allocated.set(self.allocated.get() + 1);
         Ok(f)
@@ -150,7 +171,7 @@ impl PhysMem {
         let mut run = 0usize;
         let mut start = 0usize;
         let mut found = None;
-        for (i, s) in self.slots.iter().enumerate() {
+        for (i, s) in self.meta.iter().enumerate() {
             if s.refcnt.get() == 0 {
                 if run == 0 {
                     start = i;
@@ -175,13 +196,12 @@ impl PhysMem {
         self.free
             .borrow_mut()
             .retain(|f| (f.0 as usize) < start || (f.0 as usize) >= start + n);
+        let mut arena = self.arena.borrow_mut();
         for i in start..start + n {
-            let slot = &self.slots[i];
+            let slot = &self.meta[i];
             slot.refcnt.set(1);
-            let mut data = slot.data.borrow_mut();
-            match data.as_mut() {
-                Some(d) => d.fill(0),
-                None => *data = Some(vec![0u8; PAGE_SIZE].into_boxed_slice()),
+            if slot.touched.replace(true) {
+                arena[i * PAGE_SIZE..(i + 1) * PAGE_SIZE].fill(0);
             }
         }
         self.allocated.set(self.allocated.get() + n);
@@ -190,14 +210,14 @@ impl PhysMem {
 
     /// Increments a frame's share count (CoW fork).
     pub fn incref(&self, f: FrameId) {
-        let slot = &self.slots[f.0 as usize];
+        let slot = &self.meta[f.0 as usize];
         assert!(slot.refcnt.get() > 0, "incref of free frame");
         slot.refcnt.set(slot.refcnt.get() + 1);
     }
 
     /// Decrements the share count, freeing the frame at zero.
     pub fn decref(&self, f: FrameId) {
-        let slot = &self.slots[f.0 as usize];
+        let slot = &self.meta[f.0 as usize];
         let rc = slot.refcnt.get();
         assert!(rc > 0, "decref of free frame {f:?}");
         slot.refcnt.set(rc - 1);
@@ -210,19 +230,19 @@ impl PhysMem {
 
     /// Current share count of a frame.
     pub fn refcount(&self, f: FrameId) -> u16 {
-        self.slots[f.0 as usize].refcnt.get()
+        self.meta[f.0 as usize].refcnt.get()
     }
 
     /// Pins a frame (its mapping is locked for an in-flight copy).
     pub fn pin(&self, f: FrameId) {
-        let slot = &self.slots[f.0 as usize];
+        let slot = &self.meta[f.0 as usize];
         assert!(slot.refcnt.get() > 0, "pin of free frame");
         slot.pins.set(slot.pins.get() + 1);
     }
 
     /// Releases one pin.
     pub fn unpin(&self, f: FrameId) {
-        let slot = &self.slots[f.0 as usize];
+        let slot = &self.meta[f.0 as usize];
         let p = slot.pins.get();
         assert!(p > 0, "unpin without pin");
         slot.pins.set(p - 1);
@@ -230,13 +250,13 @@ impl PhysMem {
 
     /// Whether the frame is currently pinned.
     pub fn is_pinned(&self, f: FrameId) -> bool {
-        self.slots[f.0 as usize].pins.get() > 0
+        self.meta[f.0 as usize].pins.get() > 0
     }
 
     /// Number of frames with a nonzero pin count (leak detection: after
     /// every in-flight copy settles this must return to zero).
     pub fn pinned_frames(&self) -> usize {
-        self.slots.iter().filter(|s| s.pins.get() > 0).count()
+        self.meta.iter().filter(|s| s.pins.get() > 0).count()
     }
 
     /// Sets the pressure watermarks (allocated-frame counts). Pressure is
@@ -244,7 +264,7 @@ impl PhysMem {
     pub fn set_watermarks(&self, low: usize, high: usize) {
         assert!(low < high, "low watermark must sit below high");
         self.wmark_low.set(low);
-        self.wmark_high.set(high.min(self.slots.len()));
+        self.wmark_high.set(high.min(self.meta.len()));
         // Re-evaluate immediately so a tightened watermark takes effect
         // without waiting for the next allocation.
         self.pressure();
@@ -277,53 +297,152 @@ impl PhysMem {
         self.pressure_events.get()
     }
 
+    /// Asserts every frame spanned by `[f·4096 + off, … + len)` is
+    /// allocated and the run stays inside the pool.
+    fn check_run(&self, f: FrameId, off: usize, len: usize) {
+        let first = f.0 as usize + off / PAGE_SIZE;
+        let last = f.0 as usize + (off + len - 1) / PAGE_SIZE;
+        assert!(last < self.meta.len(), "run past end of pool");
+        for i in first..=last {
+            assert!(self.meta[i].refcnt.get() > 0, "access to free frame {i}");
+        }
+    }
+
     /// Reads from a frame into `buf`.
     ///
     /// # Panics
     /// If the range exceeds the page or the frame is free.
     pub fn read(&self, f: FrameId, off: usize, buf: &mut [u8]) {
         assert!(off + buf.len() <= PAGE_SIZE);
-        let slot = &self.slots[f.0 as usize];
-        assert!(slot.refcnt.get() > 0, "read of free frame");
-        let data = slot.data.borrow();
-        buf.copy_from_slice(
-            &data.as_ref().expect("allocated frame has data")[off..off + buf.len()],
-        );
+        self.read_run(f, off, buf);
     }
 
     /// Writes `buf` into a frame.
     pub fn write(&self, f: FrameId, off: usize, buf: &[u8]) {
         assert!(off + buf.len() <= PAGE_SIZE);
-        let slot = &self.slots[f.0 as usize];
-        assert!(slot.refcnt.get() > 0, "write of free frame");
-        let mut data = slot.data.borrow_mut();
-        data.as_mut().expect("allocated frame has data")[off..off + buf.len()].copy_from_slice(buf);
+        self.write_run(f, off, buf);
+    }
+
+    /// Reads a physically contiguous run (may span many frames) into
+    /// `buf` with a single arena borrow and one `memcpy`.
+    pub fn read_run(&self, f: FrameId, off: usize, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        self.check_run(f, off, buf.len());
+        let base = f.0 as usize * PAGE_SIZE + off;
+        buf.copy_from_slice(&self.arena.borrow()[base..base + buf.len()]);
+    }
+
+    /// Writes `buf` over a physically contiguous run (may span many
+    /// frames) with a single arena borrow and one `memcpy`.
+    pub fn write_run(&self, f: FrameId, off: usize, buf: &[u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        self.check_run(f, off, buf.len());
+        let base = f.0 as usize * PAGE_SIZE + off;
+        self.arena.borrow_mut()[base..base + buf.len()].copy_from_slice(buf);
     }
 
     /// Copies bytes between frames — the real data movement behind every
     /// simulated copy.
     ///
-    /// Handles the same-frame case (used by intra-page `memmove`) with a
-    /// bounce buffer.
+    /// Handles the same-frame case (used by intra-page `memmove`) with
+    /// `memmove` semantics.
     pub fn copy(&self, dst: FrameId, dst_off: usize, src: FrameId, src_off: usize, len: usize) {
         assert!(dst_off + len <= PAGE_SIZE && src_off + len <= PAGE_SIZE);
+        self.copy_run(dst, dst_off, src, src_off, len);
+    }
+
+    /// Copies a physically contiguous run of bytes — possibly spanning
+    /// many frames — with a single arena borrow and one
+    /// `memcpy`/`memmove`. Overlapping source and destination runs get
+    /// `memmove` semantics (the destination reads as the source did
+    /// before the call), so `amemmove`-style tasks are safe.
+    ///
+    /// This is the fast-path engine primitive: the caller hands it a
+    /// whole contiguous extent pair and the arena moves it in one shot
+    /// instead of nibbling per 4 KiB page.
+    pub fn copy_run(&self, dst: FrameId, dst_off: usize, src: FrameId, src_off: usize, len: usize) {
         if len == 0 {
             return;
         }
-        let ds = &self.slots[dst.0 as usize];
-        let ss = &self.slots[src.0 as usize];
-        assert!(ds.refcnt.get() > 0 && ss.refcnt.get() > 0);
-        if dst == src {
-            let mut data = ds.data.borrow_mut();
-            let d = data.as_mut().expect("allocated frame has data");
-            d.copy_within(src_off..src_off + len, dst_off);
+        self.check_run(src, src_off, len);
+        self.check_run(dst, dst_off, len);
+        let s0 = src.0 as usize * PAGE_SIZE + src_off;
+        let d0 = dst.0 as usize * PAGE_SIZE + dst_off;
+        if s0 == d0 {
             return;
         }
-        let sdata = ss.data.borrow();
-        let mut ddata = ds.data.borrow_mut();
-        ddata.as_mut().expect("allocated frame has data")[dst_off..dst_off + len].copy_from_slice(
-            &sdata.as_ref().expect("allocated frame has data")[src_off..src_off + len],
-        );
+        let mut arena = self.arena.borrow_mut();
+        if s0 + len <= d0 {
+            // Disjoint, source below destination: one memcpy.
+            let (head, tail) = arena.split_at_mut(d0);
+            tail[..len].copy_from_slice(&head[s0..s0 + len]);
+        } else if d0 + len <= s0 {
+            // Disjoint, destination below source: one memcpy.
+            let (head, tail) = arena.split_at_mut(s0);
+            head[d0..d0 + len].copy_from_slice(&tail[..len]);
+        } else {
+            // Overlapping runs: memmove.
+            arena.copy_within(s0..s0 + len, d0);
+        }
+    }
+
+    /// Per-page baseline of [`Self::copy_run`]: identical semantics, but
+    /// borrows and copies one page-bounded chunk at a time like the
+    /// pre-arena cell-per-frame backing did. Kept callable so
+    /// `fig_hostperf` can measure the fast path against it; production
+    /// paths never use it.
+    pub fn copy_run_paged(
+        &self,
+        dst: FrameId,
+        dst_off: usize,
+        src: FrameId,
+        src_off: usize,
+        len: usize,
+    ) {
+        if len == 0 {
+            return;
+        }
+        let s0 = src.0 as usize * PAGE_SIZE + src_off;
+        let d0 = dst.0 as usize * PAGE_SIZE + dst_off;
+        // Chunk at every source or destination page boundary; walk the
+        // chunks backwards when the regions overlap with dst above src so
+        // not-yet-copied source bytes are never clobbered (memmove tiling).
+        let chunk = |d_abs: usize, s_abs: usize, take: usize| {
+            self.copy_run(
+                FrameId(dst.0 + (d_abs / PAGE_SIZE) as u32),
+                d_abs % PAGE_SIZE,
+                FrameId(src.0 + (s_abs / PAGE_SIZE) as u32),
+                s_abs % PAGE_SIZE,
+                take,
+            );
+        };
+        if d0 <= s0 {
+            let mut done = 0usize;
+            while done < len {
+                let (s_abs, d_abs) = (src_off + done, dst_off + done);
+                let take = (len - done)
+                    .min(PAGE_SIZE - s_abs % PAGE_SIZE)
+                    .min(PAGE_SIZE - d_abs % PAGE_SIZE);
+                chunk(d_abs, s_abs, take);
+                done += take;
+            }
+        } else {
+            // The last forward chunk ends at `rem` and starts at the
+            // nearest source or destination page boundary below it, so its
+            // length is computable directly — no chunk list needed.
+            let mut rem = len;
+            while rem > 0 {
+                let take = rem
+                    .min((src_off + rem - 1) % PAGE_SIZE + 1)
+                    .min((dst_off + rem - 1) % PAGE_SIZE + 1);
+                rem -= take;
+                chunk(dst_off + rem, src_off + rem, take);
+            }
+        }
     }
 
     /// Copies a whole frame (CoW break helper). Returns bytes copied.
@@ -409,6 +528,20 @@ mod tests {
     }
 
     #[test]
+    fn contiguous_realloc_rezeroes() {
+        let pm = PhysMem::new(4, AllocPolicy::Sequential);
+        let f = pm.alloc_contiguous(4).unwrap();
+        pm.write_run(f, 0, &[0xAB; 4 * PAGE_SIZE]);
+        for i in 0..4 {
+            pm.decref(FrameId(f.0 + i));
+        }
+        let g = pm.alloc_contiguous(4).unwrap();
+        let mut buf = vec![1u8; 4 * PAGE_SIZE];
+        pm.read_run(g, 0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0), "reused run must read zero");
+    }
+
+    #[test]
     fn refcount_lifecycle() {
         let pm = PhysMem::new(4, AllocPolicy::Sequential);
         let f = pm.alloc().unwrap();
@@ -442,6 +575,69 @@ mod tests {
         let mut buf = [0u8; 6];
         pm.read(f, 0, &mut buf);
         assert_eq!(&buf, b"ababcd");
+    }
+
+    #[test]
+    fn copy_run_spans_frames_one_shot() {
+        let pm = PhysMem::new(8, AllocPolicy::Sequential);
+        let src = pm.alloc_contiguous(3).unwrap();
+        let dst = pm.alloc_contiguous(3).unwrap();
+        let data: Vec<u8> = (0..2 * PAGE_SIZE + 500).map(|i| (i % 253) as u8).collect();
+        pm.write_run(src, 77, &data);
+        pm.copy_run(dst, 33, src, 77, data.len());
+        let mut got = vec![0u8; data.len()];
+        pm.read_run(dst, 33, &mut got);
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn copy_run_overlapping_is_memmove_both_directions() {
+        let pm = PhysMem::new(4, AllocPolicy::Sequential);
+        let f = pm.alloc_contiguous(4).unwrap();
+        let data: Vec<u8> = (0..3 * PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+
+        // Forward overlap (dst above src) across frame boundaries.
+        pm.write_run(f, 0, &data);
+        pm.copy_run(FrameId(f.0), 1000, f, 0, data.len());
+        let mut got = vec![0u8; data.len()];
+        pm.read_run(f, 1000, &mut got);
+        assert_eq!(got, data);
+
+        // Backward overlap (dst below src).
+        pm.write_run(f, 1000, &data);
+        pm.copy_run(f, 200, f, 1000, data.len());
+        pm.read_run(f, 200, &mut got);
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn copy_run_paged_matches_copy_run() {
+        let pm = PhysMem::new(12, AllocPolicy::Sequential);
+        let a = pm.alloc_contiguous(6).unwrap();
+        let b = pm.alloc_contiguous(6).unwrap();
+        let data: Vec<u8> = (0..5 * PAGE_SIZE).map(|i| (i % 241) as u8).collect();
+        pm.write_run(a, 123, &data);
+        pm.copy_run(b, 456, a, 123, data.len());
+        pm.copy_run_paged(a, 123, b, 456, data.len()); // round-trip via baseline
+        let mut got = vec![0u8; data.len()];
+        pm.read_run(a, 123, &mut got);
+        assert_eq!(got, data);
+
+        // Overlapping baseline copy also keeps memmove semantics.
+        pm.write_run(a, 0, &data);
+        pm.copy_run_paged(FrameId(a.0), 512, a, 0, data.len());
+        pm.read_run(a, 512, &mut got);
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "access to free frame")]
+    fn copy_run_rejects_free_frames_mid_run() {
+        let pm = PhysMem::new(8, AllocPolicy::Sequential);
+        let a = pm.alloc_contiguous(2).unwrap();
+        let b = pm.alloc_contiguous(3).unwrap();
+        pm.decref(FrameId(b.0 + 1)); // hole in the middle of the dst run
+        pm.copy_run(b, 0, a, 0, 2 * PAGE_SIZE);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod prop;
 pub mod rng;
 
 pub use bench::{black_box, Bench, BenchResult};
-pub use prop::{check, check_with, minimize, Arbitrary, Config, PropResult};
+pub use prop::{check, check_with, minimize, shrink_vec, Arbitrary, Config, PropResult};
 pub use rng::TestRng;
 
 /// Asserts that a [`copier_mem::PhysMem`] has no pinned frames left.

@@ -11,3 +11,13 @@ cargo fmt --all --check
 cargo build --release --offline --locked
 cargo test -q --workspace --offline --locked
 cargo clippy --workspace --offline --locked -- -D warnings
+
+# Host-perf smoke: the wall-clock bench must run end to end and emit
+# parseable JSON (tiny sizes; this is a plumbing check, not a perf gate).
+HOSTPERF_SMOKE=1 cargo bench -q -p copier-bench --offline --locked --bench fig_hostperf
+if command -v jq >/dev/null 2>&1; then
+    jq -e '.layouts | length > 0' BENCH_hostperf.json >/dev/null
+else
+    python3 -c 'import json,sys; d=json.load(open("BENCH_hostperf.json")); sys.exit(0 if d["layouts"] else 1)'
+fi
+echo "BENCH_hostperf.json OK"

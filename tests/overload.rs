@@ -349,6 +349,123 @@ fn pressure_recovery_reenables_async_path() {
     assert_no_pinned_leaks(&pm);
 }
 
+/// Acceptance 4c: the degraded unpinned path is byte-correct through the
+/// arena even for misaligned, non-page-multiple copies over scattered
+/// frames — the case where run coalescing degenerates to many small
+/// extent pairs.
+#[test]
+fn degraded_copy_handles_misaligned_buffers_in_arena() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 2);
+    let pm = Rc::new(PhysMem::new(4096, AllocPolicy::Scattered));
+    let svc = Copier::new(
+        &h,
+        Rc::clone(&pm),
+        vec![machine.core(1)],
+        Rc::new(CostModel::default()),
+        CopierConfig::default(),
+    );
+    svc.start();
+    let space = AddressSpace::new(1, Rc::clone(&pm));
+    let lib = CopierHandle::new(&svc, Rc::clone(&space));
+    let core = machine.core(0);
+    let len = 96 * 1024 + 777; // not a page multiple
+    let src = space.mmap(len + 8192, Prot::RW, true).unwrap().add(1234);
+    let dst = space.mmap(len + 8192, Prot::RW, true).unwrap().add(3333);
+    let data: Vec<u8> = (0..len).map(|i| (i % 241) as u8).collect();
+    space.write_bytes(src, &data).unwrap();
+    let hi = pm.allocated().max(2);
+    pm.set_watermarks(hi - 1, hi); // pressured before the first copy
+
+    let svc2 = Rc::clone(&svc);
+    let space2 = Rc::clone(&space);
+    sim.spawn("app", async move {
+        lib.amemcpy(&core, dst, src, len).await.unwrap();
+        lib.csync(&core, dst, len).await.unwrap();
+        let mut out = vec![0u8; len];
+        space2.read_bytes(dst, &mut out).unwrap();
+        assert_eq!(out, data, "misaligned degraded copy corrupted bytes");
+        svc2.stop();
+    });
+    sim.run();
+    assert!(svc.stats().degraded_sync_copies >= 1);
+    assert_no_pinned_leaks(&pm);
+}
+
+/// Acceptance 4d: a full multi-tenant overload run *under pressure* still
+/// terminates with the degraded path engaged, and is deterministic.
+#[test]
+fn pressured_overload_degrades_deterministically() {
+    let a = run(2.0, 9, tight_admission(), true);
+    let b = run(2.0, 9, tight_admission(), true);
+    assert!(
+        a.stats.pressure_events >= 1,
+        "pressured run never latched pressure: {:?}",
+        stats_key(&a.stats)
+    );
+    assert!(
+        a.stats.degraded_sync_copies >= 1,
+        "pressured run never took the degraded path: {:?}",
+        stats_key(&a.stats)
+    );
+    assert!(a.goodput > 0.0, "pressured overload made no progress");
+    assert_eq!(a.per_tenant, b.per_tenant);
+    assert_eq!(stats_key(&a.stats), stats_key(&b.stats));
+    assert_eq!(a.end, b.end);
+}
+
+/// Satellite: after reaping the client and dropping its address space,
+/// every arena frame is back in the free pool — the refcount plumbing of
+/// the arena (alloc, CoW decref, pin/unpin, reap) balances exactly.
+#[test]
+fn teardown_after_reap_frees_every_arena_frame() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let machine = Machine::new(&h, 2);
+    let pm = Rc::new(PhysMem::new(4096, AllocPolicy::Scattered));
+    let svc = Copier::new(
+        &h,
+        Rc::clone(&pm),
+        vec![machine.core(1)],
+        Rc::new(CostModel::default()),
+        CopierConfig::default(),
+    );
+    svc.start();
+    let space = AddressSpace::new(1, Rc::clone(&pm));
+    let lib = CopierHandle::new(&svc, Rc::clone(&space));
+    let core = machine.core(0);
+    let len = 64 * 1024;
+
+    let svc2 = Rc::clone(&svc);
+    let lib2 = Rc::clone(&lib);
+    let space2 = Rc::clone(&space);
+    let h2 = h.clone();
+    sim.spawn("client", async move {
+        let src = space2.mmap(len, Prot::RW, true).unwrap();
+        let dst = space2.mmap(len, Prot::RW, true).unwrap();
+        space2.write_bytes(src, &vec![7u8; len]).unwrap();
+        for _ in 0..4 {
+            let _ = lib2.amemcpy(&core, dst, src, len).await;
+        }
+        // Kill the client mid-stream, then let the sweep settle.
+        svc2.reap_client(&lib2.client);
+        h2.sleep(Nanos::from_micros(500)).await;
+        svc2.stop();
+    });
+    sim.run();
+
+    assert!(lib.client.dead.get());
+    assert_no_pinned_leaks(&pm);
+    drop(lib);
+    drop(space);
+    assert_eq!(
+        pm.allocated(),
+        0,
+        "arena frames leaked after space teardown"
+    );
+}
+
 /// One randomized reap scenario: copies in flight, client dies at a
 /// seeded instant.
 #[derive(Debug, Clone)]
