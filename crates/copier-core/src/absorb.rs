@@ -13,12 +13,14 @@
 //! write-after-write on the destination and write-after-read against an
 //! earlier task's still-unread source. Those block the batch instead.
 
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use copier_mem::{AddressSpace, VirtAddr};
 
-use crate::client::PendEntry;
+use crate::client::{OrderKey, PendEntry};
 use crate::interval::ranges_overlap;
+use crate::pendindex::{PendIndex, RangeKind};
 
 /// A piece of a task's *effective* source after layering.
 #[derive(Clone)]
@@ -209,6 +211,178 @@ pub fn analyze(entry: &PendEntry, earlier: &[Rc<PendEntry>], enabled: bool) -> A
         blockers,
         absorbed_bytes: absorbed,
     }
+}
+
+/// Index-backed [`analyze`]: window queries against the set's
+/// [`PendIndex`] instead of sweeping every earlier entry. Produces the
+/// same plan — identical pieces (sorted by offset), blockers (window
+/// order), `blocked` flag, and absorbed byte total; only the order of the
+/// `defers` list may differ (its application is commutative: interval
+/// inserts plus an identical `defer_until`). The second return value is
+/// the number of index records the queries visited.
+///
+/// Equivalences with the linear reference, relied on for byte-identical
+/// virtual time:
+///
+/// * "earlier entries in window order" == index records with
+///   `key < entry.key`, reduced in key order (window position order equals
+///   key order because keys are unique within a set);
+/// * the layering loop's backward sweep applies, for each piece, the
+///   *latest* live earlier producer overlapping it — here a max-key window
+///   query per piece, with split pieces re-queried below that producer's
+///   key (the bound a backward sweep would have reached next).
+pub fn analyze_indexed(entry: &PendEntry, index: &PendIndex, enabled: bool) -> (AbsorbPlan, u64) {
+    let t = &entry.task;
+    let bound = entry.key;
+    let (dsp, dlo, dhi) = t.dst_range();
+    let mut hits = 0u64;
+
+    // Hazard scan: WAW = earlier destinations overlapping our destination,
+    // WAR = earlier sources overlapping it. Dedup by key (one entry can
+    // match both queries); key order reproduces the window scan's order.
+    let mut hazard: BTreeMap<OrderKey, Rc<PendEntry>> = BTreeMap::new();
+    for kind in [RangeKind::Dst, RangeKind::Src] {
+        hits += index.for_each_overlap(kind, dsp, dlo, dhi, |e| {
+            if e.key < bound && !e.finished() {
+                hazard.entry(e.key).or_insert_with(|| Rc::clone(e));
+            }
+        });
+    }
+    let blockers: Vec<Rc<PendEntry>> = hazard.into_values().collect();
+    let blocked = !blockers.is_empty();
+
+    let mut pieces: Vec<SrcPiece> = Vec::new();
+    let mut defers: Vec<(Rc<PendEntry>, usize, usize)> = Vec::new();
+    let mut absorbed = 0usize;
+
+    // Worklist of (piece, key bound): each piece is matched against the
+    // latest live producer below its bound whose destination overlaps it;
+    // the split parts inherit that producer's key as their new bound, so
+    // transitive chains terminate exactly where the backward sweep would.
+    let mut work: Vec<(SrcPiece, OrderKey)> = vec![(
+        SrcPiece {
+            off: 0,
+            len: t.len,
+            space: Rc::clone(&t.src_space),
+            va: t.src,
+            depth: 0,
+        },
+        bound,
+    )];
+    while let Some((p, pb)) = work.pop() {
+        if !enabled || blocked || p.depth >= MAX_ABSORB_DEPTH {
+            pieces.push(p);
+            continue;
+        }
+        let p_lo = p.va.0 as usize;
+        let p_hi = p_lo + p.len;
+        let mut best: Option<Rc<PendEntry>> = None;
+        hits += index.for_each_overlap(
+            RangeKind::Dst,
+            p.space.id(),
+            p_lo as u64,
+            p_hi as u64,
+            |e| {
+                if e.key < pb
+                    && !(e.finished() || e.aborted.get() || e.failed.get().is_some())
+                    && best.as_ref().is_none_or(|b| e.key > b.key)
+                {
+                    best = Some(Rc::clone(e));
+                }
+            },
+        );
+        let Some(e) = best else {
+            pieces.push(p);
+            continue;
+        };
+        let et = &e.task;
+        let e_dst_lo = et.dst.0 as usize;
+        let e_dst_hi = e_dst_lo + et.len;
+        let lo = p_lo.max(e_dst_lo);
+        let hi = p_hi.min(e_dst_hi);
+        if lo >= hi {
+            // Asymmetric-overlap match with an empty intersection (a
+            // zero-length range); the linear sweep passes the piece over
+            // it untouched — keep looking below this producer's key.
+            work.push((p, e.key));
+            continue;
+        }
+        let eb = e.key;
+        if p_lo < lo {
+            work.push((
+                SrcPiece {
+                    off: p.off,
+                    len: lo - p_lo,
+                    space: Rc::clone(&p.space),
+                    va: p.va,
+                    depth: p.depth,
+                },
+                eb,
+            ));
+        }
+        let e_rel = (lo - e_dst_lo, hi - e_dst_lo);
+        let copied = e.copied.borrow();
+        let copied_parts = copied.overlaps(e_rel.0, e_rel.1);
+        let gap_parts = copied.gaps(e_rel.0, e_rel.1);
+        drop(copied);
+        for (already, epart) in copied_parts
+            .iter()
+            .map(|r| (true, r))
+            .chain(gap_parts.iter().map(|r| (false, r)))
+        {
+            let (es, ee) = *epart;
+            let task_off = p.off + (e_dst_lo + es - p_lo);
+            if already {
+                work.push((
+                    SrcPiece {
+                        off: task_off,
+                        len: ee - es,
+                        space: Rc::clone(&p.space),
+                        va: VirtAddr((e_dst_lo + es) as u64),
+                        depth: p.depth,
+                    },
+                    eb,
+                ));
+            } else {
+                work.push((
+                    SrcPiece {
+                        off: task_off,
+                        len: ee - es,
+                        space: Rc::clone(&et.src_space),
+                        va: et.src.add(es),
+                        depth: p.depth + 1,
+                    },
+                    eb,
+                ));
+                absorbed += ee - es;
+                defers.push((Rc::clone(&e), es, ee));
+            }
+        }
+        if hi < p_hi {
+            work.push((
+                SrcPiece {
+                    off: p.off + (hi - p_lo),
+                    len: p_hi - hi,
+                    space: Rc::clone(&p.space),
+                    va: VirtAddr(hi as u64),
+                    depth: p.depth,
+                },
+                eb,
+            ));
+        }
+    }
+    pieces.sort_by_key(|p| p.off);
+
+    (
+        AbsorbPlan {
+            pieces,
+            defers,
+            blocked,
+            blockers,
+            absorbed_bytes: absorbed,
+        },
+        hits,
+    )
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use copier_sim::Nanos;
 
 use crate::descriptor::CopyFault;
 use crate::interval::IntervalSet;
+use crate::pendindex::PendIndex;
 use crate::ring::Ring;
 use crate::task::{CopyTask, Handler, Privilege, QueueEntry, SyncTask, TaskId};
 
@@ -99,6 +100,35 @@ impl PendEntry {
             || self.copied.borrow().covers(0, self.task.len)
     }
 
+    /// Whether any executable gap exists — the allocation-free form of
+    /// `!executable_gaps(force).is_empty()` used on the poll fast path.
+    /// Walks the task range skipping covered prefixes instead of
+    /// materializing the gap list.
+    pub fn has_executable_gaps(&self, force: bool) -> bool {
+        let copied = self.copied.borrow();
+        let inflight = self.inflight.borrow();
+        let deferred = self.deferred.borrow();
+        let mut cur = 0;
+        while cur < self.task.len {
+            if let Some(e) = copied.end_of_covering_range(cur) {
+                cur = e;
+                continue;
+            }
+            if let Some(e) = inflight.end_of_covering_range(cur) {
+                cur = e;
+                continue;
+            }
+            if !force {
+                if let Some(e) = deferred.end_of_covering_range(cur) {
+                    cur = e;
+                    continue;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
     /// The gaps still to copy, excluding deferred ranges unless `force`.
     pub fn executable_gaps(&self, force: bool) -> Vec<(usize, usize)> {
         let copied = self.copied.borrow();
@@ -151,6 +181,9 @@ pub struct QueueSet {
     pub seq: Cell<u64>,
     /// The in-flight window, sorted by `key`.
     pub pending: RefCell<VecDeque<Rc<PendEntry>>>,
+    /// Address index over the window's src/dst ranges, kept in lockstep
+    /// with `pending` by the service (submit / finalize / reap).
+    pub index: PendIndex,
     /// Destinations garbaged by faulted copies (bounded; oldest evicted).
     pub tainted: RefCell<Vec<TaintRange>>,
     /// Handlers that did not fit the (bounded) handler ring; drained by
@@ -169,9 +202,16 @@ impl QueueSet {
             u_index: Cell::new(0),
             seq: Cell::new(0),
             pending: RefCell::new(VecDeque::new()),
+            index: PendIndex::new(),
             tainted: RefCell::new(Vec::new()),
             handler_overflow: RefCell::new(VecDeque::new()),
         })
+    }
+
+    /// Whether the address index exactly mirrors the pending window
+    /// (invariant checked after chaos teardown).
+    pub fn index_consistent(&self) -> Result<(), String> {
+        self.index.check_against(self.pending.borrow().iter())
     }
 
     /// The queue pair for a privilege level.
@@ -285,6 +325,12 @@ impl Client {
         Rc::clone(&self.sets.borrow()[idx])
     }
 
+    /// Queue set by index, or `None` past the end — lets the service walk
+    /// sets without snapshot-cloning the whole list each poll.
+    pub fn set_at(&self, idx: usize) -> Option<Rc<QueueSet>> {
+        self.sets.borrow().get(idx).map(Rc::clone)
+    }
+
     /// Whether any set has queued or windowed work runnable at `now`
     /// (mirrors the service's batch-selection rules).
     pub fn has_work(&self, now: Nanos, lazy_period: Nanos) -> bool {
@@ -306,11 +352,11 @@ impl Client {
                     if p.task.lazy && now < p.submitted_at + lazy_period {
                         return false;
                     }
-                    if !p.executable_gaps(false).is_empty() {
+                    if p.has_executable_gaps(false) {
                         return true;
                     }
                     // Deferred obligations become runnable at expiry.
-                    p.defer_until.get() <= now && !p.executable_gaps(true).is_empty()
+                    p.defer_until.get() <= now && p.has_executable_gaps(true)
                 })
         })
     }

@@ -150,6 +150,13 @@ impl IntervalSet {
         out
     }
 
+    /// The end of the stored range containing `pos`, if any. Lets callers
+    /// skip covered prefixes without materializing gap lists.
+    pub fn end_of_covering_range(&self, pos: usize) -> Option<usize> {
+        let i = self.ranges.partition_point(|&(s, _)| s <= pos);
+        (i > 0 && self.ranges[i - 1].1 > pos).then(|| self.ranges[i - 1].1)
+    }
+
     /// Iterates the stored ranges.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.ranges.iter().copied()

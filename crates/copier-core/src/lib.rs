@@ -22,16 +22,20 @@ pub mod client;
 pub mod config;
 pub mod descriptor;
 pub mod interval;
+pub mod pendindex;
 pub mod ring;
 pub mod sched;
 pub mod service;
 pub mod task;
 
 pub use absorb::{AbsorbPlan, SrcPiece, MAX_ABSORB_DEPTH};
-pub use client::{Client, ClientId, PendEntry, QueuePair, QueueSet, TaintRange, DEFAULT_QUEUE_CAP};
+pub use client::{
+    Client, ClientId, OrderKey, PendEntry, QueuePair, QueueSet, TaintRange, DEFAULT_QUEUE_CAP,
+};
 pub use config::{AdmissionConfig, CopierConfig, PollMode};
 pub use descriptor::{CopyFault, SegDescriptor, DEFAULT_SEGMENT};
 pub use interval::IntervalSet;
+pub use pendindex::{PendIndex, RangeKind};
 pub use ring::{Ring, RingFull};
 pub use sched::{CGroup, Scheduler, DEFAULT_COPY_SLICE};
 pub use service::{Copier, CopierStats};

@@ -40,6 +40,14 @@ use crate::task::{CopyTask, Handler, QueueEntry, SyncTask, TaskId};
 /// reallocated — host-only optimization).
 type ByTidMap = Rc<RefCell<BTreeMap<TaskId, Rc<PendEntry>>>>;
 
+/// Per-thread round scratch, reused across polls so a settled round
+/// allocates nothing: the assigned-client list is refilled in place and
+/// the dispatch progress map is cleared, not rebuilt.
+struct RoundScratch {
+    clients: Vec<Rc<Client>>,
+    by_tid: ByTidMap,
+}
+
 /// Aggregate service statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CopierStats {
@@ -88,6 +96,18 @@ pub struct CopierStats {
     pub degraded_sync_copies: u64,
     /// Transitions of the physical pool into the pressured state.
     pub pressure_events: u64,
+    /// Hazard/absorption analyses performed (one per considered task).
+    pub hazard_scans: u64,
+    /// Records visited by address-index window queries (analysis, csync
+    /// lookup, and taint cascades) — the work the index did instead of
+    /// full window sweeps.
+    pub index_hits: u64,
+    /// High-water mark of resident index records across all queue sets.
+    pub index_entries_peak: u64,
+    /// Poll rounds that found no batch to execute (the settled fast path).
+    pub rounds_settled: u64,
+    /// Poll rounds that selected and executed a batch.
+    pub rounds_active: u64,
 }
 
 struct Selected {
@@ -276,7 +296,10 @@ impl Copier {
         // and refilled each round instead of reallocated. Each thread owns
         // its own, and a round's DMA callbacks all settle before
         // `execute_batch` returns, so clearing at the next round is safe.
-        let by_tid: ByTidMap = Rc::new(RefCell::new(BTreeMap::new()));
+        let mut scratch = RoundScratch {
+            clients: Vec::new(),
+            by_tid: Rc::new(RefCell::new(BTreeMap::new())),
+        };
         loop {
             if self.stopping.get() {
                 return;
@@ -296,7 +319,7 @@ impl Copier {
                 core.advance(self.cfg.wake_latency).await;
                 continue;
             }
-            let did = self.round(idx, &core, &by_tid).await;
+            let did = self.round(idx, &core, &mut scratch).await;
             if idx == 0 && self.cfg.auto_scale {
                 self.autoscale();
             }
@@ -343,18 +366,12 @@ impl Copier {
     }
 
     fn autoscale(&self) {
-        let load: usize = self
-            .clients
-            .borrow()
-            .iter()
-            .flat_map(|c| {
-                c.sets
-                    .borrow()
-                    .iter()
-                    .map(|s| s.pending_bytes())
-                    .collect::<Vec<_>>()
-            })
-            .sum();
+        let mut load = 0usize;
+        for c in self.clients.borrow().iter() {
+            for s in c.sets.borrow().iter() {
+                load += s.pending_bytes();
+            }
+        }
         let active = self.active_threads.get();
         if load > self.cfg.high_load && active < self.cores.len() {
             self.active_threads.set(active + 1);
@@ -364,28 +381,44 @@ impl Copier {
         }
     }
 
-    fn assigned(&self, idx: usize) -> Vec<Rc<Client>> {
+    /// Refills `out` with this thread's client assignment. The buffer is
+    /// per-thread scratch, so a settled poll reuses its capacity instead
+    /// of allocating a fresh snapshot.
+    fn assigned_into(&self, idx: usize, out: &mut Vec<Rc<Client>>) {
+        out.clear();
         let n = self.active_threads.get().max(1);
-        self.clients
-            .borrow()
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % n == idx)
-            .map(|(_, c)| Rc::clone(c))
-            .collect()
+        for (i, c) in self.clients.borrow().iter().enumerate() {
+            if i % n == idx {
+                out.push(Rc::clone(c));
+            }
+        }
+    }
+
+    /// Drains every set of every assigned client, walking sets by index
+    /// (no snapshot clone; sets are never removed, only appended).
+    fn drain_assigned(&self, clients: &[Rc<Client>]) -> usize {
+        let mut n = 0usize;
+        for c in clients {
+            let mut si = 0;
+            while let Some(set) = c.set_at(si) {
+                n += self.drain_set(c, &set);
+                si += 1;
+            }
+        }
+        n
     }
 
     /// One service round. Returns whether any work was done.
-    async fn round(self: &Rc<Self>, idx: usize, core: &Rc<Core>, by_tid: &ByTidMap) -> bool {
-        let clients = self.assigned(idx);
+    async fn round(
+        self: &Rc<Self>,
+        idx: usize,
+        core: &Rc<Core>,
+        scratch: &mut RoundScratch,
+    ) -> bool {
+        self.assigned_into(idx, &mut scratch.clients);
+        let clients = &scratch.clients;
         // 1. Drain queues into windows.
-        let mut drained = 0usize;
-        for c in &clients {
-            let sets: Vec<Rc<QueueSet>> = c.sets.borrow().iter().cloned().collect();
-            for set in sets {
-                drained += self.drain_set(c, &set);
-            }
-        }
+        let drained = self.drain_assigned(clients);
         if drained > 0 {
             core.advance(Nanos(self.cfg.drain_cost.as_nanos() * drained as u64))
                 .await;
@@ -395,13 +428,7 @@ impl Copier {
             // adjacent tasks together.
             if self.cfg.aggregation_delay > Nanos::ZERO {
                 core.advance(self.cfg.aggregation_delay).await;
-                let mut more = 0usize;
-                for c in &clients {
-                    let sets: Vec<Rc<QueueSet>> = c.sets.borrow().iter().cloned().collect();
-                    for set in sets {
-                        more += self.drain_set(c, &set);
-                    }
-                }
+                let more = self.drain_assigned(clients);
                 if more > 0 {
                     core.advance(Nanos(self.cfg.drain_cost.as_nanos() * more as u64))
                         .await;
@@ -410,9 +437,10 @@ impl Copier {
         }
         // 2. Sync queues (k-mode before u-mode, §4.2.2).
         let mut synced = 0usize;
-        for c in &clients {
-            let sets: Vec<Rc<QueueSet>> = c.sets.borrow().iter().cloned().collect();
-            for set in sets {
+        for c in clients {
+            let mut si = 0;
+            while let Some(set) = c.set_at(si) {
+                si += 1;
                 while let Some(st) = set.kq.sync.pop() {
                     self.handle_sync(&set, st);
                     synced += 1;
@@ -429,16 +457,19 @@ impl Copier {
         }
         // 3. Schedule a client.
         let now = self.h.now();
-        let Some(client) = self.sched.pick(&clients, now, self.cfg.lazy_period) else {
+        let Some(client) = self.sched.pick(clients, now, self.cfg.lazy_period) else {
+            self.stats.borrow_mut().rounds_settled += 1;
             return drained + synced > 0;
         };
         // 4. Select a batch.
         let selected = self.select_batch(&client, now);
         if selected.is_empty() {
+            self.stats.borrow_mut().rounds_settled += 1;
             return drained + synced > 0;
         }
+        self.stats.borrow_mut().rounds_active += 1;
         // 5–7. Plan, dispatch, complete.
-        self.execute(core, &client, selected, by_tid).await;
+        self.execute(core, &client, selected, &scratch.by_tid).await;
         true
     }
 
@@ -589,14 +620,17 @@ impl Copier {
             finalized: Cell::new(false),
         });
         let len = entry.task.len as u64;
+        set.index.insert(&entry);
+        {
+            let mut st = self.stats.borrow_mut();
+            let n = set.index.len() as u64;
+            if n > st.index_entries_peak {
+                st.index_entries_peak = n;
+            }
+        }
         let mut pending = set.pending.borrow_mut();
-        // Insert sorted by key; keys are usually increasing, so scan from
-        // the back.
-        let pos = pending
-            .iter()
-            .rposition(|p| p.key <= entry.key)
-            .map(|i| i + 1)
-            .unwrap_or(0);
+        // Insert sorted by key (binary search; keys are unique per set).
+        let pos = pending.partition_point(|p| p.key <= entry.key);
         pending.insert(pos, entry);
         // Admission accounting: the task now occupies window capacity.
         client.inflight_tasks.set(client.inflight_tasks.get() + 1);
@@ -611,20 +645,31 @@ impl Copier {
         let lo = st.addr.0 as usize;
         let hi = lo + st.len;
         // Latest matching task wins (§4.2.2 reverse traversal); an abort
-        // with an explicit descriptor matches by identity instead.
+        // with an explicit descriptor matches by identity instead (those
+        // carry no address, so the scan stays linear — they are rare).
         let target_idx = if let Some(d) = &st.target {
             pending
                 .iter()
                 .rposition(|p| !p.finished() && Rc::ptr_eq(&p.task.descr, d))
         } else {
-            pending.iter().rposition(|p| {
-                !p.finished()
-                    && p.task.dst_space.id() == st.space_id
-                    && crate::interval::ranges_overlap(
-                        (p.task.dst.0 as usize, p.task.dst.0 as usize + p.task.len),
-                        (lo, hi),
-                    )
-            })
+            // Address-indexed lookup: the latest unfinished entry whose
+            // destination overlaps the synced range. Window position order
+            // equals key order (keys are unique), so "latest" is the max
+            // key among the window query's matches.
+            let mut best: Option<crate::client::OrderKey> = None;
+            let hits = set.index.for_each_overlap(
+                crate::pendindex::RangeKind::Dst,
+                st.space_id,
+                lo as u64,
+                hi as u64,
+                |p| {
+                    if !p.finished() && best.is_none_or(|b| p.key > b) {
+                        best = Some(p.key);
+                    }
+                },
+            );
+            self.stats.borrow_mut().index_hits += hits;
+            best.map(|k| pending.partition_point(|p| p.key < k))
         };
         let Some(ti) = target_idx else {
             return;
@@ -696,15 +741,20 @@ impl Copier {
         let budget = self.sched.copy_slice();
         let mut out: Vec<Selected> = Vec::new();
         let mut bytes = 0usize;
-        let sets: Vec<Rc<QueueSet>> = client.sets.borrow().iter().cloned().collect();
-        for set in sets {
+        let mut hazard_scans = 0u64;
+        let mut index_hits = 0u64;
+        let mut si = 0;
+        while let Some(set) = client.set_at(si) {
+            si += 1;
             if bytes >= budget {
                 break;
             }
-            let pending: Vec<Rc<PendEntry>> = set.pending.borrow().iter().cloned().collect();
+            // Iterate the window in place; the analysis runs against the
+            // set's address index, so no `earlier` snapshot is needed —
+            // "earlier" is exactly the index records with a smaller key.
+            let pending = set.pending.borrow();
             let any_promoted = pending.iter().any(|p| p.promoted.get() && !p.finished());
-            let mut earlier: Vec<Rc<PendEntry>> = Vec::new();
-            for e in &pending {
+            for e in pending.iter() {
                 if e.finished() {
                     continue;
                 }
@@ -716,13 +766,14 @@ impl Copier {
                 } else if e.task.lazy && now < e.submitted_at + self.cfg.lazy_period {
                     true
                 } else {
-                    e.defer_until.get() > now && e.executable_gaps(false).is_empty()
+                    e.defer_until.get() > now && !e.has_executable_gaps(false)
                 };
                 if skip {
-                    earlier.push(Rc::clone(e));
                     continue;
                 }
-                let plan = absorb::analyze(e, &earlier, absorption);
+                let (plan, hits) = absorb::analyze_indexed(e, &set.index, absorption);
+                hazard_scans += 1;
+                index_hits += hits;
                 if plan.blocked {
                     // Push the blockers through first; retry next round. A
                     // promoted entry transfers its priority to its blockers
@@ -738,7 +789,6 @@ impl Copier {
                 }
                 let cap = (budget - bytes).min(e.remaining()).max(1);
                 bytes += e.remaining().min(cap);
-                earlier.push(Rc::clone(e));
                 out.push(Selected {
                     set: Rc::clone(&set),
                     entry: Rc::clone(e),
@@ -753,14 +803,18 @@ impl Copier {
         // Apply deferrals from all plans (after selection so every plan saw
         // the pre-round state).
         let now_defer = now + self.cfg.lazy_period;
+        let mut absorbed = 0u64;
         for s in &out {
             for (tgt, lo, hi) in &s.plan.defers {
                 tgt.deferred.borrow_mut().insert(*lo, *hi);
                 tgt.defer_until.set(now_defer);
             }
-            let mut st = self.stats.borrow_mut();
-            st.bytes_absorbed += s.plan.absorbed_bytes as u64;
+            absorbed += s.plan.absorbed_bytes as u64;
         }
+        let mut st = self.stats.borrow_mut();
+        st.bytes_absorbed += absorbed;
+        st.hazard_scans += hazard_scans;
+        st.index_hits += index_hits;
         out
     }
 
@@ -839,7 +893,6 @@ impl Copier {
         }
         let mut planned: Vec<PlannedCopy> = Vec::new();
         by_tid.borrow_mut().clear();
-        let mut live: Vec<&Selected> = Vec::new();
         let mut planned_bytes = 0usize;
 
         for s in &sel {
@@ -870,7 +923,6 @@ impl Copier {
                     }
                     by_tid.borrow_mut().insert(e.tid, Rc::clone(e));
                     planned.push(pc);
-                    live.push(s);
                 }
                 Err(fault) => {
                     // Mid-copy fault: poison only this descriptor (partial
@@ -1120,7 +1172,15 @@ impl Copier {
         if !e.aborted.get() && e.failed.get().is_none() {
             self.stats.borrow_mut().tasks_completed += 1;
         }
-        set.pending.borrow_mut().retain(|p| !Rc::ptr_eq(p, e));
+        // Window and index removal by key (the window is sorted by unique
+        // key, so this replaces the O(n) retain sweep). Runs after the
+        // handler: a KFunc may submit, which needs the pending borrow.
+        set.index.remove(e);
+        let mut pending = set.pending.borrow_mut();
+        let pos = pending.partition_point(|p| p.key < e.key);
+        if pos < pending.len() && Rc::ptr_eq(&pending[pos], e) {
+            pending.remove(pos);
+        }
     }
 
     /// Runs a task's KFUNC inline or queues its UFUNC for post_handlers().
@@ -1170,34 +1230,49 @@ impl Copier {
         failed: &Rc<PendEntry>,
         fault: CopyFault,
     ) {
-        let mut tainted: Vec<(u32, u64, u64)> = vec![failed.task.dst_range()];
-        let later: Vec<Rc<PendEntry>> = set
-            .pending
-            .borrow()
-            .iter()
-            .filter(|p| p.key > failed.key && !p.finished())
-            .cloned()
-            .collect();
-        let mut killed = Vec::new();
-        for p in later {
-            let (sp, lo, hi) = p.task.src_range();
-            if tainted.iter().any(|&(s, l, h)| s == sp && l < hi && lo < h) {
-                p.failed.set(Some(fault));
-                p.task.descr.poison(fault);
-                client.signals.borrow_mut().push(fault);
-                tainted.push(p.task.dst_range());
-                {
-                    let mut st = self.stats.borrow_mut();
-                    st.faults += 1;
-                    st.dependents_aborted += 1;
-                }
-                killed.push(p);
+        // Reachability closure over the index instead of a window sweep: a
+        // later entry dies iff its source overlaps the destination of an
+        // already-dead entry with a *smaller* key (the linear sweep records
+        // a victim's taint before checking entries after it, and only
+        // them). BFS over garbaged destination ranges computes the same
+        // fixed point; victims are then poisoned in window-key order, so
+        // signals, handlers, and remembered taints land exactly as the
+        // sweep would have produced them.
+        let mut killed: BTreeMap<crate::client::OrderKey, Rc<PendEntry>> = BTreeMap::new();
+        let mut frontier: Vec<(crate::client::OrderKey, (u32, u64, u64))> =
+            vec![(failed.key, failed.task.dst_range())];
+        let mut hits = 0u64;
+        let mut found: Vec<Rc<PendEntry>> = Vec::new();
+        while let Some((bound, (sp, lo, hi))) = frontier.pop() {
+            found.clear();
+            hits += set
+                .index
+                .for_each_overlap(crate::pendindex::RangeKind::Src, sp, lo, hi, |p| {
+                    if p.key > bound && !p.finished() && !killed.contains_key(&p.key) {
+                        found.push(Rc::clone(p));
+                    }
+                });
+            for p in found.drain(..) {
+                frontier.push((p.key, p.task.dst_range()));
+                killed.insert(p.key, p);
             }
         }
-        for p in &killed {
+        self.stats.borrow_mut().index_hits += hits;
+        for p in killed.values() {
+            p.failed.set(Some(fault));
+            p.task.descr.poison(fault);
+            client.signals.borrow_mut().push(fault);
+            let mut st = self.stats.borrow_mut();
+            st.faults += 1;
+            st.dependents_aborted += 1;
+        }
+        for p in killed.values() {
             self.finalize(client, set, p);
         }
-        for (sp, lo, hi) in tainted {
+        let (fsp, flo, fhi) = failed.task.dst_range();
+        self.remember_taint(set, fsp, flo, fhi, fault);
+        for p in killed.values() {
+            let (sp, lo, hi) = p.task.dst_range();
             self.remember_taint(set, sp, lo, hi, fault);
         }
     }
@@ -1212,8 +1287,9 @@ impl Copier {
     pub fn reap_client(&self, client: &Rc<Client>) -> u64 {
         client.dead.set(true);
         let mut reclaimed = 0u64;
-        let sets: Vec<Rc<QueueSet>> = client.sets.borrow().iter().cloned().collect();
-        for set in &sets {
+        let mut si = 0;
+        while let Some(set) = client.set_at(si) {
+            si += 1;
             for pair in [&set.uq, &set.kq] {
                 while let Some(entry) = pair.copy.pop() {
                     if let QueueEntry::Copy(t) = entry {
@@ -1224,14 +1300,22 @@ impl Copier {
                 while pair.sync.pop().is_some() {}
                 while pair.handler.pop().is_some() {}
             }
-            let pending: Vec<Rc<PendEntry>> = set.pending.borrow().iter().cloned().collect();
-            for p in &pending {
+            // Drain the window front-to-back instead of snapshot-cloning
+            // it; `finalize` drops each popped entry's index records. The
+            // count is latched up front so a completion handler submitting
+            // mid-reap cannot extend the sweep (matching the snapshot
+            // semantics this replaces).
+            let n = set.pending.borrow().len();
+            for _ in 0..n {
+                let Some(p) = set.pending.borrow_mut().pop_front() else {
+                    break;
+                };
                 if !p.finished() {
                     p.aborted.set(true);
                     p.task.descr.poison(CopyFault::Aborted);
                     reclaimed += 1;
                 }
-                self.finalize(client, set, p);
+                self.finalize(client, &set, &p);
             }
             set.tainted.borrow_mut().clear();
             set.handler_overflow.borrow_mut().clear();

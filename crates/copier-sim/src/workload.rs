@@ -124,6 +124,20 @@ impl WorkloadPlan {
         self.per_tenant.iter().map(Vec::len).sum()
     }
 
+    /// All arrivals merged across tenants, sorted by `(at, tenant)` —
+    /// the interleaved submission order a shared service front-end sees.
+    /// Deterministic for a given config like everything else here.
+    pub fn merged(&self) -> Vec<(usize, Arrival)> {
+        let mut all: Vec<(usize, Arrival)> = self
+            .per_tenant
+            .iter()
+            .enumerate()
+            .flat_map(|(t, sched)| sched.iter().map(move |&a| (t, a)))
+            .collect();
+        all.sort_by_key(|&(t, a)| (a.at, t));
+        all
+    }
+
     /// Total bytes the workload offers the service over the horizon.
     pub fn offered_bytes(&self) -> u64 {
         self.per_tenant.iter().flatten().map(|a| a.len as u64).sum()
@@ -183,6 +197,21 @@ mod tests {
         });
         assert_eq!(p.tenant(0), fewer.tenant(0));
         assert_eq!(p.tenant(1), fewer.tenant(1));
+    }
+
+    #[test]
+    fn merged_interleaves_all_tenants_in_time_order() {
+        let p = WorkloadPlan::new(cfg(11));
+        let m = p.merged();
+        assert_eq!(m.len(), p.total_arrivals());
+        assert!(m
+            .windows(2)
+            .all(|w| (w[0].1.at, w[0].0) < (w[1].1.at, w[1].0)));
+        // Filtering the merged stream by tenant recovers each schedule.
+        for t in 0..3 {
+            let back: Vec<Arrival> = m.iter().filter(|(tt, _)| *tt == t).map(|x| x.1).collect();
+            assert_eq!(back, p.tenant(t));
+        }
     }
 
     #[test]

@@ -82,6 +82,15 @@ fn run(mode: RedisMode, with_copier: bool, label: &str) {
                 st.degraded_sync_copies,
                 st.pressure_events
             );
+            println!(
+                "{label:>10}: control plane: {} hazard scans ({} index hits, peak {} \
+                 indexed ranges), {} settled / {} active rounds",
+                st.hazard_scans,
+                st.index_hits,
+                st.index_entries_peak,
+                st.rounds_settled,
+                st.rounds_active
+            );
             svc.stop();
         }
     });

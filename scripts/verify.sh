@@ -21,3 +21,13 @@ else
     python3 -c 'import json,sys; d=json.load(open("BENCH_hostperf.json")); sys.exit(0 if d["layouts"] else 1)'
 fi
 echo "BENCH_hostperf.json OK"
+
+# Control-plane smoke: same plumbing check for the pending-index bench
+# (it also re-asserts linear/indexed plan identity on every window).
+CTRLPERF_SMOKE=1 cargo bench -q -p copier-bench --offline --locked --bench fig_ctrlperf
+if command -v jq >/dev/null 2>&1; then
+    jq -e '.depths | length > 0' BENCH_ctrlperf.json >/dev/null
+else
+    python3 -c 'import json,sys; d=json.load(open("BENCH_ctrlperf.json")); sys.exit(0 if d["depths"] else 1)'
+fi
+echo "BENCH_ctrlperf.json OK"

@@ -223,10 +223,21 @@ fn run_chaos(case: &ChaosCase) -> Outcome {
         per_copy.push((d.fault(), marks));
     }
 
-    // Teardown invariant for every chaos run, regardless of which
+    // Teardown invariants for every chaos run, regardless of which
     // property the caller asserts on: even a mid-flight kill must leave
-    // nothing pinned once the orphan sweep has run.
+    // nothing pinned once the orphan sweep has run, and the address
+    // index must still mirror each set's pending window exactly —
+    // faults, aborts, taint cascades, and the reap sweep all route
+    // through the same submit/finalize bookkeeping.
     assert_no_pinned_leaks(&os.pm);
+    for set in lib.client.sets.borrow().iter() {
+        if let Err(msg) = set.index_consistent() {
+            panic!(
+                "pending index diverged after chaos run (seed {}): {msg}",
+                case.seed
+            );
+        }
+    }
 
     Outcome {
         end: end.as_nanos(),
