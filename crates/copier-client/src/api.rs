@@ -269,7 +269,9 @@ impl CopierHandle {
         len: usize,
         opts: &AmemcpyOpts,
     ) -> (Rc<SegDescriptor>, CopyTask) {
-        assert!(len > 0, "amemcpy of zero bytes");
+        // `len == 0` is legal, like `memcpy(d, s, 0)`: the descriptor is
+        // born all-ready and the service completes the task at the drain
+        // boundary without touching memory.
         let seg = if opts.seg == 0 {
             self.svc.config().segment
         } else {

@@ -2,7 +2,7 @@
 
 use std::rc::Rc;
 
-use copier_sim::{FaultPlan, Nanos};
+use copier_sim::{FaultPlan, Nanos, Tracer};
 
 use crate::descriptor::DEFAULT_SEGMENT;
 use crate::sched::DEFAULT_COPY_SLICE;
@@ -98,6 +98,12 @@ pub struct CopierConfig {
     pub aggregation_delay: Nanos,
     /// Admission-control quotas and watermarks.
     pub admission: AdmissionConfig,
+    /// Record/replay hook (DESIGN.md §14): the service emits its round
+    /// structure, drain/admission/scheduling decisions, and state hashes
+    /// into this tracer, and in replay mode is checked against it in
+    /// lockstep. Recording is host-side only — virtual-time behaviour is
+    /// identical with or without it. `None` disables tracing.
+    pub tracer: Option<Rc<Tracer>>,
 }
 
 impl Default for CopierConfig {
@@ -125,6 +131,7 @@ impl Default for CopierConfig {
             wake_latency: Nanos(700),
             aggregation_delay: Nanos(150),
             admission: AdmissionConfig::default(),
+            tracer: None,
         }
     }
 }

@@ -46,8 +46,12 @@ unsafe impl Sync for SegDescriptor {}
 
 impl SegDescriptor {
     /// Creates a descriptor for a copy of `len` bytes at `seg` granularity.
+    ///
+    /// `len == 0` is legal (like `memcpy(d, s, 0)`): the descriptor has
+    /// zero segments and is born complete — `all_ready()` holds
+    /// immediately and the service completes the task without moving
+    /// bytes.
     pub fn new(len: usize, seg: usize) -> Self {
-        assert!(len > 0, "descriptor for empty copy");
         let seg = seg.max(1);
         let nsegs = len.div_ceil(seg);
         let words = nsegs.div_ceil(64);
@@ -65,9 +69,9 @@ impl SegDescriptor {
         self.len
     }
 
-    /// Never true — descriptors always track a non-empty copy.
+    /// Whether this descriptor tracks a zero-byte copy.
     pub fn is_empty(&self) -> bool {
-        false
+        self.len == 0
     }
 
     /// Segment granularity in bytes.
@@ -94,7 +98,7 @@ impl SegDescriptor {
 
     /// Whether every segment overlapping `[off, off+len)` is complete.
     pub fn range_ready(&self, off: usize, len: usize) -> bool {
-        if len == 0 {
+        if len == 0 || self.len == 0 {
             return true;
         }
         let end = (off + len).min(self.len);
@@ -180,6 +184,23 @@ mod tests {
     fn zero_len_query_is_trivially_ready() {
         let d = SegDescriptor::new(128, 64);
         assert!(d.range_ready(100, 0));
+    }
+
+    #[test]
+    fn zero_len_descriptor_is_born_complete() {
+        let d = SegDescriptor::new(0, 1024);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.num_segments(), 0);
+        assert_eq!(d.ready_segments(), 0);
+        assert!(d.all_ready(), "nothing to copy means already done");
+        assert!(d.range_ready(0, 0));
+        // Poisoning still works (e.g. taint cascade hits it at submit).
+        d.poison(CopyFault::Aborted);
+        assert_eq!(d.fault(), Some(CopyFault::Aborted));
+        d.reset();
+        assert_eq!(d.fault(), None);
+        assert!(d.all_ready());
     }
 
     #[test]

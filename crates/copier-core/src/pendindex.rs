@@ -111,6 +111,16 @@ impl PendIndex {
     /// (`rec.lo < hi && lo < rec.hi`). Returns the number of records
     /// visited (the query's hit count). Visit order is by start address,
     /// not window order — callers reduce by key where order matters.
+    ///
+    /// Zero-length audit (ISSUE 6): the `lo - max_len` scan bound stays
+    /// correct at `len == 0` on both sides. A zero-length *record* at
+    /// `p` never raises `max_len`, yet is still found by exactly the
+    /// queries with `lo < p < hi` — such a `p` satisfies `p ≥ scan_lo`
+    /// for any `max_len` because `p > lo ≥ lo - max_len`. A zero-length
+    /// *query* `[p, p)` behaves as the point `p` strictly inside a
+    /// record, and `scan_lo = p - max_len` bounds exactly the records
+    /// that can reach `p`. Both match `ranges_overlap`; covered by the
+    /// tests below.
     pub fn for_each_overlap(
         &self,
         kind: RangeKind,
@@ -134,6 +144,24 @@ impl PendIndex {
             }
         }
         hits
+    }
+
+    /// Order-deterministic FNV-1a digest of every resident record
+    /// `(space, kind, lo, tid, hi)` — the PendIndex component of the
+    /// record/replay round hash (DESIGN.md §14). BTreeMap iteration
+    /// order makes it independent of insertion history.
+    pub fn digest(&self) -> u64 {
+        use copier_sim::trace::{fnv_fold, FNV_OFFSET};
+        let map = self.map.borrow();
+        let mut h = FNV_OFFSET;
+        for (&(sp, k, lo, tid), &(hi, _)) in map.iter() {
+            h = fnv_fold(h, sp as u64);
+            h = fnv_fold(h, k as u64);
+            h = fnv_fold(h, lo);
+            h = fnv_fold(h, tid);
+            h = fnv_fold(h, hi);
+        }
+        h
     }
 
     /// Verifies the index exactly mirrors `pending` (both records per
@@ -270,7 +298,14 @@ mod tests {
         for tid in 1..=64 {
             let src = rnd() % 4096;
             let dst = rnd() % 4096;
-            let len = (rnd() % 256) as usize;
+            // Force a spread of zero-length records (every 8th entry) on
+            // top of whatever the stream draws, so the len == 0 edge is
+            // always exercised, not just hit with probability 1/256.
+            let len = if tid % 8 == 0 {
+                0
+            } else {
+                (rnd() % 256) as usize
+            };
             let e = entry(tid, &s, src, dst, len);
             ix.insert(&e);
             entries.push(e);
@@ -302,6 +337,48 @@ mod tests {
             }
         }
         ix.check_against(entries.iter()).unwrap();
+    }
+
+    #[test]
+    fn zero_length_records_and_queries() {
+        let s = space(1);
+        let ix = PendIndex::new();
+        // A zero-length record at 0x9000 (dst [0x9000, 0x9000)).
+        let z = entry(1, &s, 0x1000, 0x9000, 0);
+        ix.insert(&z);
+        // Found by queries strictly containing the point...
+        assert_eq!(dst_tids(&ix, 1, 0x8000, 0xa000), vec![1]);
+        // ...but not by ranges merely touching it (half-open semantics).
+        assert_eq!(dst_tids(&ix, 1, 0x9000, 0xa000), vec![]);
+        assert_eq!(dst_tids(&ix, 1, 0x8000, 0x9000), vec![]);
+        // A zero-length query is a point strictly inside a record.
+        let r = entry(2, &s, 0x2000, 0xb000, 0x1000);
+        ix.insert(&r);
+        assert_eq!(dst_tids(&ix, 1, 0xb800, 0xb800), vec![2]);
+        assert_eq!(dst_tids(&ix, 1, 0xb000, 0xb000), vec![], "at the edge");
+        // Empty query against the zero-length record: no strict interior.
+        assert_eq!(dst_tids(&ix, 1, 0x9000, 0x9000), vec![]);
+        ix.check_against([&z, &r].into_iter()).unwrap();
+        ix.remove(&z);
+        assert_eq!(ix.len(), 2);
+    }
+
+    #[test]
+    fn digest_is_order_independent_and_content_sensitive() {
+        let s = space(1);
+        let a = entry(1, &s, 0x1000, 0x8000, 64);
+        let b = entry(2, &s, 0x2000, 0x9000, 64);
+        let ab = PendIndex::new();
+        ab.insert(&a);
+        ab.insert(&b);
+        let ba = PendIndex::new();
+        ba.insert(&b);
+        ba.insert(&a);
+        assert_eq!(ab.digest(), ba.digest(), "insertion order is invisible");
+        ba.remove(&b);
+        assert_ne!(ab.digest(), ba.digest(), "content changes the digest");
+        let empty = PendIndex::new();
+        assert_ne!(ba.digest(), empty.digest());
     }
 
     #[test]

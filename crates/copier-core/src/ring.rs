@@ -71,10 +71,17 @@ impl<T> Ring<T> {
     }
 
     /// Entries currently enqueued (approximate under concurrency).
+    ///
+    /// Wrapping subtraction, matching `push`'s occupancy check: the
+    /// counters are monotone and may wrap `usize`, after which `head`
+    /// reads *below* `tail` and a saturating difference would clamp the
+    /// occupancy to 0 (under-reporting a possibly full ring). Since the
+    /// capacity divides 2^64, `head - tail mod 2^64` is the true
+    /// occupancy across the wrap.
     pub fn len(&self) -> usize {
         self.head
             .load(Ordering::Acquire)
-            .saturating_sub(self.tail.load(Ordering::Acquire))
+            .wrapping_sub(self.tail.load(Ordering::Acquire))
     }
 
     /// Whether the ring appears empty.
@@ -96,10 +103,12 @@ impl<T> Ring<T> {
             if h.wrapping_sub(t) >= cap {
                 return Err(RingFull(v));
             }
-            match self
-                .head
-                .compare_exchange_weak(h, h + 1, Ordering::AcqRel, Ordering::Relaxed)
-            {
+            match self.head.compare_exchange_weak(
+                h,
+                h.wrapping_add(1),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => break,
                 Err(cur) => h = cur,
             }
@@ -131,7 +140,7 @@ impl<T> Ring<T> {
         // the only consumer, so the slot is ours until we clear `valid`.
         let v = unsafe { (*slot.val.get()).assume_init_read() };
         slot.valid.store(false, Ordering::Release);
-        self.tail.store(t + 1, Ordering::Release);
+        self.tail.store(t.wrapping_add(1), Ordering::Release);
         Some(v)
     }
 }
@@ -181,6 +190,48 @@ mod tests {
             assert_eq!(r.pop(), Some(round));
         }
         assert_eq!(r.pushed(), 100);
+    }
+
+    #[test]
+    fn occupancy_survives_counter_wraparound() {
+        // Regression for the ISSUE 6 satellite: `len()` used
+        // `saturating_sub` while `push` used `wrapping_sub`, so once the
+        // monotone counters wrapped usize, `len()` clamped to 0 while
+        // the ring was actually populated. Start the counters just below
+        // the wrap (capacity is a power of two, so slot indexing stays
+        // aligned) and drive push/pop across the boundary.
+        let r = Ring::new(4);
+        let start = usize::MAX - 5; // wraps mid-test
+        r.head.store(start, Ordering::SeqCst);
+        r.tail.store(start, Ordering::SeqCst);
+        assert_eq!(r.len(), 0);
+        let mut expect_front = 0u64;
+        let mut next = 0u64;
+        for _ in 0..3 {
+            r.push(next).unwrap();
+            next += 1;
+        }
+        for step in 0..12u64 {
+            assert_eq!(r.len(), 3, "occupancy wrong at step {step}");
+            assert_eq!(r.pop(), Some(expect_front), "FIFO broke at step {step}");
+            expect_front += 1;
+            r.push(next).unwrap();
+            next += 1;
+        }
+        // Post-wrap: head is now small, tail may still be near MAX or
+        // past it; a full ring must still reject.
+        r.push(next).unwrap();
+        assert_eq!(r.len(), 4);
+        assert!(r.push(999).is_err(), "full ring must reject across wrap");
+        for _ in 0..4 {
+            assert_eq!(r.pop(), Some(expect_front));
+            expect_front += 1;
+        }
+        assert!(r.is_empty());
+        assert!(
+            r.head.load(Ordering::SeqCst) < start,
+            "wrap actually happened"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use copier_hw::{
 use copier_mem::{
     frames_of, AddressSpace, Extent, FrameId, MemError, PhysMem, VirtAddr, PAGE_SIZE,
 };
+use copier_sim::trace::{fnv_fold, TraceEvent, FNV_OFFSET};
 use copier_sim::{Core, Nanos, Notify, SimHandle};
 
 use crate::absorb::{self, AbsorbPlan};
@@ -142,6 +143,10 @@ pub struct Copier {
     global_bytes: Cell<u64>,
     /// Latched global-watermark shedding state (hysteresis).
     shedding: Cell<bool>,
+    /// Monotone round counter feeding the record/replay trace (round
+    /// identity in the event log; counts every poll round, active or
+    /// idle — idle rounds emit nothing thanks to lazy headers).
+    round_no: Cell<u64>,
 }
 
 impl Copier {
@@ -191,6 +196,7 @@ impl Copier {
             stopping: Cell::new(false),
             global_bytes: Cell::new(0),
             shedding: Cell::new(false),
+            round_no: Cell::new(0),
         })
     }
 
@@ -231,6 +237,87 @@ impl Copier {
     /// (the quantity the global watermarks gate).
     pub fn admitted_bytes(&self) -> u64 {
         self.global_bytes.get()
+    }
+
+    /// The `(pending, index, stats)` state hashes closing an active
+    /// traced round (DESIGN.md §14). Every component is iterated in a
+    /// deterministic order (registration order for clients and sets,
+    /// window-key order for entries, BTreeMap order inside the index),
+    /// so equal states hash equal regardless of how they were reached.
+    fn trace_hashes(&self) -> (u64, u64, u64) {
+        let mut hp = FNV_OFFSET;
+        let mut hx = FNV_OFFSET;
+        for c in self.clients.borrow().iter() {
+            let mut si = 0;
+            while let Some(set) = c.set_at(si) {
+                si += 1;
+                for e in set.pending.borrow().iter() {
+                    hp = fnv_fold(hp, e.tid);
+                    hp = fnv_fold(hp, e.key.0);
+                    hp = fnv_fold(hp, e.key.1 as u64);
+                    hp = fnv_fold(hp, e.key.2);
+                    hp = fnv_fold(hp, e.task.len as u64);
+                    for ivs in [&e.copied, &e.inflight, &e.deferred] {
+                        for (lo, hi) in ivs.borrow().iter() {
+                            hp = fnv_fold(hp, lo as u64);
+                            hp = fnv_fold(hp, hi as u64);
+                        }
+                        hp = fnv_fold(hp, u64::MAX); // interval-set sentinel
+                    }
+                    let flags = (e.promoted.get() as u64)
+                        | (e.aborted.get() as u64) << 1
+                        | (e.failed.get().map_or(0, |f| copy_fault_code(f) as u64)) << 2;
+                    hp = fnv_fold(hp, flags);
+                }
+                hx = fnv_fold(hx, set.index.digest());
+            }
+        }
+        (hp, hx, self.stats_digest())
+    }
+
+    /// FNV-1a fold of every [`CopierStats`] field (field order is the
+    /// struct's declaration order; append-only like `stats_key` in the
+    /// chaos suite).
+    fn stats_digest(&self) -> u64 {
+        let s = self.stats();
+        let mut h = FNV_OFFSET;
+        for v in [
+            s.tasks_completed,
+            s.bytes_copied,
+            s.bytes_absorbed,
+            s.bytes_deferred_executed,
+            s.syncs,
+            s.promotions,
+            s.aborts,
+            s.faults,
+            s.idle_polls,
+            s.busy_rounds,
+            s.dispatch.cpu_bytes as u64,
+            s.dispatch.dma_bytes as u64,
+            s.dispatch.dma_descriptors as u64,
+            s.dispatch.dma_wait.as_nanos(),
+            s.dispatch.retries,
+            s.dispatch.fallback_bytes as u64,
+            s.proactive_faults,
+            s.retries,
+            s.fallback_bytes,
+            s.quarantined_channels,
+            s.orphans_reclaimed,
+            s.dependents_aborted,
+            s.admission_rejected,
+            s.shed_bytes,
+            s.credits_granted,
+            s.degraded_sync_copies,
+            s.pressure_events,
+            s.hazard_scans,
+            s.index_hits,
+            s.index_entries_peak,
+            s.rounds_settled,
+            s.rounds_active,
+        ] {
+            h = fnv_fold(h, v);
+        }
+        h
     }
 
     /// Resets the statistics.
@@ -302,6 +389,14 @@ impl Copier {
         };
         loop {
             if self.stopping.get() {
+                // Closing memory checkpoint: the trace ends with a full
+                // physical digest so replay fidelity is checked even when
+                // the run stopped between periodic checkpoints.
+                if idx == 0 {
+                    if let Some(t) = &self.cfg.tracer {
+                        t.record_mem(self.pm.digest());
+                    }
+                }
                 return;
             }
             // Auto-scaling park: threads beyond the active count sleep.
@@ -409,7 +504,36 @@ impl Copier {
     }
 
     /// One service round. Returns whether any work was done.
+    ///
+    /// With a tracer configured this wraps the round in `begin_round` /
+    /// `end_round` so every event the round emits carries its round
+    /// identity, closes active rounds with the `(pending, index, stats)`
+    /// state hashes, and appends periodic physical-memory digests. The
+    /// tracer is host-side bookkeeping only — no virtual time is charged,
+    /// so traced and untraced runs have identical timelines. Round
+    /// attribution is per-service (one counter), which is exact for the
+    /// single-core service configs the record/replay fixtures use.
     async fn round(
+        self: &Rc<Self>,
+        idx: usize,
+        core: &Rc<Core>,
+        scratch: &mut RoundScratch,
+    ) -> bool {
+        let Some(tracer) = self.cfg.tracer.clone() else {
+            return self.round_inner(idx, core, scratch).await;
+        };
+        let round_no = self.round_no.get() + 1;
+        self.round_no.set(round_no);
+        tracer.begin_round(round_no, self.h.now().as_nanos());
+        let did = self.round_inner(idx, core, scratch).await;
+        let mem_due = tracer.end_round(|| self.trace_hashes());
+        if mem_due {
+            tracer.record_mem(self.pm.digest());
+        }
+        did
+    }
+
+    async fn round_inner(
         self: &Rc<Self>,
         idx: usize,
         core: &Rc<Core>,
@@ -418,7 +542,7 @@ impl Copier {
         self.assigned_into(idx, &mut scratch.clients);
         let clients = &scratch.clients;
         // 1. Drain queues into windows.
-        let drained = self.drain_assigned(clients);
+        let mut drained = self.drain_assigned(clients);
         if drained > 0 {
             core.advance(Nanos(self.cfg.drain_cost.as_nanos() * drained as u64))
                 .await;
@@ -432,6 +556,7 @@ impl Copier {
                 if more > 0 {
                     core.advance(Nanos(self.cfg.drain_cost.as_nanos() * more as u64))
                         .await;
+                    drained += more;
                 }
             }
         }
@@ -455,12 +580,23 @@ impl Copier {
             core.advance(Nanos(self.cfg.drain_cost.as_nanos() * synced as u64))
                 .await;
         }
+        if drained + synced > 0 {
+            if let Some(t) = &self.cfg.tracer {
+                t.emit(TraceEvent::Drained {
+                    copies: drained as u64,
+                    syncs: synced as u64,
+                });
+            }
+        }
         // 3. Schedule a client.
         let now = self.h.now();
         let Some(client) = self.sched.pick(clients, now, self.cfg.lazy_period) else {
             self.stats.borrow_mut().rounds_settled += 1;
             return drained + synced > 0;
         };
+        if let Some(t) = &self.cfg.tracer {
+            t.emit(TraceEvent::SchedPick { client: client.id });
+        }
         // 4. Select a batch.
         let selected = self.select_batch(&client, now);
         if selected.is_empty() {
@@ -485,7 +621,7 @@ impl Copier {
             match e {
                 QueueEntry::Barrier { peer_pos } => set.cur_k_key.set(peer_pos),
                 QueueEntry::Copy(t) => {
-                    if !self.admit(client, &t) {
+                    if !self.admit_traced(client, &t) {
                         self.shed(client, set, t);
                         continue;
                     }
@@ -499,7 +635,7 @@ impl Copier {
             match e {
                 QueueEntry::Barrier { .. } => {}
                 QueueEntry::Copy(t) => {
-                    if !self.admit(client, &t) {
+                    if !self.admit_traced(client, &t) {
                         self.shed(client, set, t);
                         continue;
                     }
@@ -509,6 +645,20 @@ impl Copier {
             }
         }
         n
+    }
+
+    /// [`Self::admit`] plus the record/replay emission of the decision —
+    /// one `Admit` event per copy submission at the drain boundary.
+    fn admit_traced(&self, client: &Rc<Client>, t: &CopyTask) -> bool {
+        let admitted = self.admit(client, t);
+        if let Some(tr) = &self.cfg.tracer {
+            tr.emit(TraceEvent::Admit {
+                client: client.id,
+                len: t.len as u64,
+                admitted,
+            });
+        }
+        admitted
     }
 
     /// Admission decision for one submission. Per-client quotas are
@@ -602,6 +752,20 @@ impl Copier {
         set.tainted
             .borrow_mut()
             .retain(|x| !(x.space == dsp && dlo <= x.lo && x.hi <= dhi));
+        // Zero-length copies (legal, like `memcpy(d, s, 0)`) complete
+        // immediately at the drain boundary: their descriptor is born
+        // all-ready, so a window entry would never be selected — and
+        // therefore never finalized, leaking its handler and credit
+        // forever. (The taint check above can never hit an empty source
+        // range, which is right: a zero-length read forwards nothing.)
+        if t.len == 0 {
+            self.deliver_handler(set, &t);
+            client.grant_credit();
+            let mut st = self.stats.borrow_mut();
+            st.credits_granted += 1;
+            st.tasks_completed += 1;
+            return;
+        }
         let tid = self.next_tid.get();
         self.next_tid.set(tid + 1);
         let entry = Rc::new(PendEntry {
@@ -1150,6 +1314,16 @@ impl Copier {
         if e.finalized.replace(true) {
             return;
         }
+        // Descriptor state transition for the record/replay trace: one
+        // TaskDone per window entry, in finalization order.
+        if let Some(tr) = &self.cfg.tracer {
+            let fault = match (e.aborted.get(), e.failed.get()) {
+                (_, Some(f)) => copy_fault_code(f),
+                (true, None) => copy_fault_code(CopyFault::Aborted),
+                (false, None) => 0,
+            };
+            tr.emit(TraceEvent::TaskDone { tid: e.tid, fault });
+        }
         // Return the task's admission share and its submission credit —
         // the completion ring is where backpressure unwinds.
         client
@@ -1368,19 +1542,41 @@ fn mem_fault(e: MemError) -> CopyFault {
 }
 
 /// Records landed bytes and flips fully covered descriptor segments.
+///
+/// Zero-length progress (`len == 0`, or `off` at/past the task's end) is
+/// a no-op: the old `(end - 1) / seg` then `num_segments() - 1` span math
+/// underflowed for empty ranges — debug builds panicked, release builds
+/// wrapped to a huge segment index and tripped the `mark` bounds assert.
 fn mark_progress(e: &Rc<PendEntry>, off: usize, len: usize) {
     let end = (off + len).min(e.task.len);
+    if end <= off {
+        return;
+    }
     e.copied.borrow_mut().insert(off, end);
     e.inflight.borrow_mut().remove(off, end);
     let d = &e.task.descr;
+    let nsegs = d.num_segments();
+    if nsegs == 0 {
+        return;
+    }
     let seg = d.segment_size();
     let first = off / seg;
-    let last = (end.saturating_sub(1)) / seg;
+    let last = ((end - 1) / seg).min(nsegs - 1);
     let copied = e.copied.borrow();
-    for i in first..=last.min(d.num_segments() - 1) {
+    for i in first..=last {
         let (s, t) = d.segment_range(i);
         if copied.covers(s, t) {
             d.mark(i);
         }
+    }
+}
+
+/// Wire encoding of a `CopyFault` for trace events (0 = no fault).
+fn copy_fault_code(f: CopyFault) -> u8 {
+    match f {
+        CopyFault::Segv => 1,
+        CopyFault::OutOfMemory => 2,
+        CopyFault::Aborted => 3,
+        CopyFault::Overloaded => 4,
     }
 }

@@ -450,6 +450,32 @@ impl PhysMem {
         self.copy(dst, 0, src, 0, PAGE_SIZE);
         PAGE_SIZE
     }
+
+    /// FNV-1a digest over the contents of every *allocated* frame
+    /// (frame id folded in first, so identical bytes in different frames
+    /// still produce distinct digests). Free frames are excluded: their
+    /// arena bytes are reinitialization detail, not system state. Used
+    /// by the record/replay layer's memory checkpoints (DESIGN.md §14).
+    pub fn digest(&self) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let arena = self.arena.borrow();
+        for (i, m) in self.meta.iter().enumerate() {
+            if m.refcnt.get() == 0 {
+                continue;
+            }
+            h = (h ^ i as u64).wrapping_mul(PRIME);
+            // Word-at-a-time FNV: one multiply per 8 bytes, not per byte —
+            // the digest runs at trace checkpoints over every allocated
+            // frame, so its cost bounds the record overhead (DESIGN.md
+            // §14). PAGE_SIZE is a multiple of 8, so nothing is dropped.
+            for w in arena[i * PAGE_SIZE..(i + 1) * PAGE_SIZE].chunks_exact(8) {
+                let x = u64::from_le_bytes(w.try_into().unwrap());
+                h = (h ^ x).wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
@@ -638,6 +664,26 @@ mod tests {
         let b = pm.alloc_contiguous(3).unwrap();
         pm.decref(FrameId(b.0 + 1)); // hole in the middle of the dst run
         pm.copy_run(b, 0, a, 0, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn digest_tracks_allocated_content_only() {
+        let pm = PhysMem::new(4, AllocPolicy::Sequential);
+        let empty = pm.digest();
+        let a = pm.alloc().unwrap();
+        let after_alloc = pm.digest();
+        assert_ne!(empty, after_alloc, "allocation changes the digest");
+        pm.write(a, 7, b"payload");
+        let after_write = pm.digest();
+        assert_ne!(after_alloc, after_write, "content changes the digest");
+        // Same bytes in a different frame → different digest.
+        pm.decref(a);
+        let b = pm.alloc().unwrap();
+        assert_eq!(b, a);
+        let c = pm.alloc().unwrap();
+        pm.write(c, 7, b"payload");
+        pm.decref(b);
+        assert_ne!(pm.digest(), after_write, "frame identity is folded in");
     }
 
     #[test]

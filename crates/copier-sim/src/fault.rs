@@ -14,11 +14,12 @@
 //! are kept here so tests can assert that a schedule actually exercised the
 //! paths it claims to.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use crate::rng::SimRng;
 use crate::time::Nanos;
+use crate::trace::{TraceEvent, Tracer};
 
 /// A DMA descriptor-level failure decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +88,11 @@ pub struct FaultPlan {
     cfg: FaultConfig,
     rng: SimRng,
     log: Cell<FaultLog>,
+    /// Record/replay hook. In record mode every decision is appended to
+    /// the trace; in replay mode decisions are *sourced from* the trace
+    /// (the PRNG is not consulted) until the stream diverges, after
+    /// which the oracle falls back to live draws so the run terminates.
+    tracer: RefCell<Option<Rc<Tracer>>>,
 }
 
 impl std::fmt::Debug for FaultPlan {
@@ -106,6 +112,7 @@ impl FaultPlan {
             cfg,
             rng,
             log: Cell::new(FaultLog::default()),
+            tracer: RefCell::new(None),
         })
     }
 
@@ -114,34 +121,102 @@ impl FaultPlan {
         &self.cfg
     }
 
+    /// Attaches a record/replay tracer to this oracle's decision stream.
+    pub fn set_tracer(&self, tracer: &Rc<Tracer>) {
+        *self.tracer.borrow_mut() = Some(Rc::clone(tracer));
+    }
+
+    fn tracer(&self) -> Option<Rc<Tracer>> {
+        self.tracer.borrow().clone()
+    }
+
     /// Decides the fate of one DMA descriptor. Classes are checked in
     /// severity order (hard death, then timeout, then transient); each
     /// check consumes exactly one PRNG draw so the decision stream is
     /// independent of which classes are enabled.
     pub fn decide_dma(&self) -> Option<DmaFault> {
+        let tracer = self.tracer();
+        if let Some(t) = tracer.as_deref() {
+            if t.is_replay() {
+                if let Some(code) = t.take_dma() {
+                    let fault = Self::dma_from_code(code);
+                    self.count_dma(fault);
+                    return fault;
+                }
+                // Diverged: fall through to live draws (from the
+                // never-advanced replay PRNG — still deterministic).
+            }
+        }
         let hard = self.rng.gen_bool(self.cfg.dma_hard_prob);
         let timeout = self.rng.gen_bool(self.cfg.dma_timeout_prob);
         let transient = self.rng.gen_bool(self.cfg.dma_transient_prob);
-        let mut log = self.log.get();
         let fault = if hard {
-            log.dma_hard += 1;
             Some(DmaFault::HardFail)
         } else if timeout {
-            log.dma_timeout += 1;
             Some(DmaFault::Timeout)
         } else if transient {
-            log.dma_transient += 1;
             Some(DmaFault::Transient)
         } else {
             None
         };
-        self.log.set(log);
+        self.count_dma(fault);
+        if let Some(t) = tracer.as_deref() {
+            if !t.is_replay() {
+                t.emit(TraceEvent::DmaDraw {
+                    fault: Self::dma_code(fault),
+                });
+            }
+        }
         fault
+    }
+
+    /// Wire encoding of a DMA decision: 0 none, 1 transient, 2 hard,
+    /// 3 timeout.
+    pub fn dma_code(fault: Option<DmaFault>) -> u8 {
+        match fault {
+            None => 0,
+            Some(DmaFault::Transient) => 1,
+            Some(DmaFault::HardFail) => 2,
+            Some(DmaFault::Timeout) => 3,
+        }
+    }
+
+    fn dma_from_code(code: u8) -> Option<DmaFault> {
+        match code {
+            1 => Some(DmaFault::Transient),
+            2 => Some(DmaFault::HardFail),
+            3 => Some(DmaFault::Timeout),
+            _ => None,
+        }
+    }
+
+    fn count_dma(&self, fault: Option<DmaFault>) {
+        let mut log = self.log.get();
+        match fault {
+            Some(DmaFault::HardFail) => log.dma_hard += 1,
+            Some(DmaFault::Timeout) => log.dma_timeout += 1,
+            Some(DmaFault::Transient) => log.dma_transient += 1,
+            None => {}
+        }
+        self.log.set(log);
     }
 
     /// Decides whether an ATCache hit should be treated as stale.
     pub fn decide_atc_stale(&self) -> bool {
-        let stale = self.rng.gen_bool(self.cfg.atc_stale_prob);
+        let tracer = self.tracer();
+        let stale = match tracer.as_deref() {
+            Some(t) if t.is_replay() => match t.take_atc() {
+                Some(s) => s,
+                None => self.rng.gen_bool(self.cfg.atc_stale_prob),
+            },
+            _ => {
+                let s = self.rng.gen_bool(self.cfg.atc_stale_prob);
+                if let Some(t) = tracer.as_deref() {
+                    t.emit(TraceEvent::AtcDraw { stale: s });
+                }
+                s
+            }
+        };
         if stale {
             let mut log = self.log.get();
             log.atc_stale += 1;
@@ -155,10 +230,25 @@ impl FaultPlan {
     /// ascending. Harnesses spawn timer tasks at these instants.
     pub fn race_times(&self, n: usize, horizon: Nanos) -> Vec<Nanos> {
         assert!(horizon > Nanos::ZERO);
+        let tracer = self.tracer();
+        if let Some(t) = tracer.as_deref() {
+            if t.is_replay() {
+                if let Some(times) = t.take_races(n) {
+                    return times.into_iter().map(Nanos).collect();
+                }
+            }
+        }
         let mut out: Vec<Nanos> = (0..n)
             .map(|_| Nanos(self.rng.gen_range(horizon.as_nanos())))
             .collect();
         out.sort();
+        if let Some(t) = tracer.as_deref() {
+            if !t.is_replay() {
+                t.emit(TraceEvent::RaceTimes {
+                    times: out.iter().map(|t| t.as_nanos()).collect(),
+                });
+            }
+        }
         out
     }
 
@@ -211,6 +301,32 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
         assert!(a.iter().all(|&t| t < Nanos::from_millis(1)));
+    }
+
+    #[test]
+    fn recorded_decision_stream_replays_verbatim() {
+        let rec = Tracer::record();
+        let a = chaotic(31);
+        a.set_tracer(&rec);
+        let mut decisions = Vec::new();
+        for _ in 0..200 {
+            decisions.push((a.decide_dma(), a.decide_atc_stale()));
+        }
+        let races = a.race_times(4, Nanos::from_millis(1));
+        let trace = rec.finish();
+
+        // Replay against a plan with a DIFFERENT seed: every decision
+        // must come from the log, not the PRNG.
+        let rep = Tracer::replay(trace);
+        let b = chaotic(9999);
+        b.set_tracer(&rep);
+        for &(dma, atc) in &decisions {
+            assert_eq!(b.decide_dma(), dma);
+            assert_eq!(b.decide_atc_stale(), atc);
+        }
+        assert_eq!(b.race_times(4, Nanos::from_millis(1)), races);
+        assert_eq!(rep.divergence(), None);
+        assert_eq!(a.log(), b.log(), "replay reproduces injection counters");
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   with round-robin quanta, busy-time accounting, and an energy proxy;
 //! * [`Notify`], [`Chan`] — virtual-time synchronization primitives;
 //! * [`CacheModel`] — the §6.3.5 cache-pollution proxy;
-//! * [`SimRng`] — a seeded PRNG for workload generation.
+//! * [`SimRng`] — a seeded PRNG for workload generation;
+//! * [`Tracer`] / [`Trace`] — the rr-style record/replay event log with
+//!   lockstep divergence checking (DESIGN.md §14).
 //!
 //! Simulated *data is real*: higher layers really move bytes between real
 //! buffers at event time; only durations come from cost models.
@@ -26,13 +28,15 @@ pub mod fault;
 pub mod rng;
 pub mod sync;
 pub mod time;
+pub mod trace;
 pub mod workload;
 
 pub use cache::{CacheConfig, CacheModel};
 pub use cpu::{Core, Machine, PowerModel, DEFAULT_QUANTUM};
 pub use exec::{JoinHandle, Sim, SimHandle, TaskId};
 pub use fault::{DmaFault, FaultConfig, FaultLog, FaultPlan};
-pub use rng::SimRng;
+pub use rng::{stream_seed, SimRng};
 pub use sync::{Chan, Notify};
 pub use time::Nanos;
+pub use trace::{Divergence, Trace, TraceEvent, Tracer};
 pub use workload::{Arrival, WorkloadConfig, WorkloadPlan};

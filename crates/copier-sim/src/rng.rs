@@ -22,6 +22,21 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the seed of child stream `stream` from a parent `seed`.
+///
+/// Both inputs pass through the splitmix64 finalizer before mixing, so
+/// nearby seeds and nearby stream indices land in unrelated states — a
+/// plain `seed ^ (stream + 1) * PHI` keeps the low-entropy structure of
+/// both inputs and lets streams collide or correlate across adjacent
+/// seeds (e.g. `stream_seed(s, 1) == stream_seed(s ^ PHI, 0)` under the
+/// xor scheme). Used by the workload generator for per-tenant streams.
+pub fn stream_seed(seed: u64, stream: u64) -> u64 {
+    let mut s = stream;
+    let mixed = splitmix64(&mut s);
+    let mut t = seed ^ mixed;
+    splitmix64(&mut t)
+}
+
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
@@ -177,6 +192,23 @@ mod tests {
             .count();
         let frac = small as f64 / n as f64;
         assert!((frac - 0.951).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn stream_seeds_decorrelate_nearby_inputs() {
+        // The xor/PHI scheme this replaces had exact cross-seed
+        // collisions: seed ^ (a+1)*PHI == seed' ^ (b+1)*PHI whenever
+        // seed' = seed ^ (a-b)*PHI. The finalizer-based derivation must
+        // not reproduce them.
+        const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+        let seed = 42u64;
+        let seed2 = seed ^ PHI; // collided with (seed, stream 1) before
+        assert_ne!(stream_seed(seed, 1), stream_seed(seed2, 0));
+        // And streams under one seed are pairwise distinct.
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..64 {
+            assert!(seen.insert(stream_seed(seed, t)));
+        }
     }
 
     #[test]

@@ -15,8 +15,9 @@
 
 use std::rc::Rc;
 
-use crate::rng::SimRng;
+use crate::rng::{stream_seed, SimRng};
 use crate::time::Nanos;
+use crate::trace::{Trace, TraceEvent, Tracer};
 
 /// One scheduled submission for one tenant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,10 +85,12 @@ impl WorkloadPlan {
         );
         let per_tenant = (0..cfg.tenants)
             .map(|t| {
-                // Independent stream per tenant: splitmix the tenant index
-                // into the seed so streams never overlap draws.
-                let rng =
-                    SimRng::new(cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                // Independent stream per tenant, derived through the
+                // splitmix64 finalizer. The previous xor-with-(t+1)·PHI
+                // derivation collided streams across nearby seeds (see
+                // `stream_seed`); switching is a deliberate, documented
+                // determinism break pinned by the golden test below.
+                let rng = SimRng::new(stream_seed(cfg.seed, t as u64));
                 let mut sched = Vec::new();
                 let mut now = Nanos::ZERO;
                 loop {
@@ -107,6 +110,46 @@ impl WorkloadPlan {
             })
             .collect();
         Rc::new(WorkloadPlan { cfg, per_tenant })
+    }
+
+    /// Rebuilds a plan from the `Submission` events of a recorded trace
+    /// (consume-from-log mode). `cfg` supplies the envelope the original
+    /// run used; only its `tenants` count must cover the recorded tenant
+    /// indices — the schedule itself comes entirely from the log, so no
+    /// PRNG is consulted.
+    pub fn from_trace(cfg: WorkloadConfig, trace: &Trace) -> Rc<Self> {
+        assert!(cfg.tenants > 0, "workload needs at least one tenant");
+        let mut per_tenant: Vec<Vec<Arrival>> = vec![Vec::new(); cfg.tenants];
+        for (tenant, at, len) in trace.submissions() {
+            let t = tenant as usize;
+            assert!(
+                t < cfg.tenants,
+                "trace names tenant {t} but config has {}",
+                cfg.tenants
+            );
+            per_tenant[t].push(Arrival {
+                at: Nanos(at),
+                len: len as usize,
+            });
+        }
+        for sched in &mut per_tenant {
+            sched.sort_by_key(|a| a.at);
+        }
+        Rc::new(WorkloadPlan { cfg, per_tenant })
+    }
+
+    /// Records the full merged schedule into `tracer` as `Submission`
+    /// events. In record mode this captures the workload for later
+    /// `from_trace` reconstruction; in replay mode the same call
+    /// lockstep-verifies that the regenerated schedule matches the log.
+    pub fn record_to(&self, tracer: &Tracer) {
+        for (t, a) in self.merged() {
+            tracer.emit(TraceEvent::Submission {
+                tenant: t as u32,
+                at: a.at.as_nanos(),
+                len: a.len as u64,
+            });
+        }
     }
 
     /// The configuration this plan was built from.
@@ -212,6 +255,42 @@ mod tests {
             let back: Vec<Arrival> = m.iter().filter(|(tt, _)| *tt == t).map(|x| x.1).collect();
             assert_eq!(back, p.tenant(t));
         }
+    }
+
+    #[test]
+    fn golden_schedule_pins_stream_derivation() {
+        // Golden outputs for the splitmix64-finalizer stream derivation.
+        // These values changed (deliberately) when the xor/PHI scheme
+        // was replaced; if they change again, that is a determinism
+        // break every recorded trace and EXPERIMENTS number depends on —
+        // document it or revert.
+        let p = WorkloadPlan::new(cfg(42));
+        let first: Vec<(u64, usize)> = (0..3)
+            .map(|t| {
+                let a = p.tenant(t)[0];
+                (a.at.as_nanos(), a.len)
+            })
+            .collect();
+        assert_eq!(first, &[(457, 9986), (12939, 28916), (9899, 32699)]);
+        assert_eq!(p.total_arrivals(), 1168);
+        assert_eq!(p.offered_bytes(), 21_486_559);
+    }
+
+    #[test]
+    fn trace_roundtrip_reconstructs_schedule() {
+        use crate::trace::Tracer;
+        let p = WorkloadPlan::new(cfg(13));
+        let rec = Tracer::record();
+        p.record_to(&rec);
+        let trace = rec.finish();
+        let back = WorkloadPlan::from_trace(cfg(13), &trace);
+        for t in 0..3 {
+            assert_eq!(back.tenant(t), p.tenant(t));
+        }
+        // Replaying the same plan against its own log is divergence-free.
+        let rep = Tracer::replay(trace);
+        p.record_to(&rep);
+        assert_eq!(rep.divergence(), None);
     }
 
     #[test]

@@ -31,3 +31,14 @@ else
     python3 -c 'import json,sys; d=json.load(open("BENCH_ctrlperf.json")); sys.exit(0 if d["depths"] else 1)'
 fi
 echo "BENCH_ctrlperf.json OK"
+
+# Trace smoke: record a fig07-class run, replay it in lockstep, and
+# localize an injected perturbation — the bench asserts all three, and
+# the JSON must confirm the replay was bit-identical (DESIGN.md §14).
+TRACE_SMOKE=1 cargo bench -q -p copier-bench --offline --locked --bench fig_trace
+if command -v jq >/dev/null 2>&1; then
+    jq -e '.replay.identical == true' BENCH_trace.json >/dev/null
+else
+    python3 -c 'import json,sys; d=json.load(open("BENCH_trace.json")); sys.exit(0 if d["replay"]["identical"] else 1)'
+fi
+echo "BENCH_trace.json OK"

@@ -13,6 +13,10 @@
 //!
 //! Reproduce any failure with the `TESTKIT_REPRO=<case seed>` line the
 //! runner prints, e.g. `TESTKIT_REPRO=1234567 cargo test -q --test chaos`.
+//! Trace-recording properties additionally save a `.cptr` event log on
+//! failure and print a `TRACE_REPLAY=<path>` line; replaying it through
+//! `chaos_replay_from_env` re-executes the recorded run in lockstep and
+//! reports the first diverging round (DESIGN.md §14).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -20,7 +24,9 @@ use std::rc::Rc;
 use copier::core::{Copier, CopierConfig, CopyFault, SegDescriptor};
 use copier::mem::{Prot, PAGE_SIZE};
 use copier::os::Os;
-use copier::sim::{FaultConfig, FaultLog, FaultPlan, Machine, Nanos, Sim};
+use copier::sim::{
+    FaultConfig, FaultLog, FaultPlan, Machine, Nanos, Sim, Trace, TraceEvent, Tracer,
+};
 use copier_testkit::prop::{check_with, Config};
 use copier_testkit::{assert_no_pinned_leaks, prop_assert, prop_assert_eq, TestRng};
 
@@ -128,7 +134,70 @@ fn stats_key(svc: &Rc<Copier>) -> Vec<u64> {
     ]
 }
 
+/// Trace keys under which a recorded chaos trace carries its own case
+/// (so `TRACE_REPLAY` needs only the `.cptr` file, not the seed line).
+mod meta {
+    pub const SEED: u32 = 1;
+    pub const CHANNELS: u32 = 2;
+    pub const NCOPIES: u32 = 3;
+    pub const LEN: u32 = 4;
+    pub const TRANSIENT: u32 = 5;
+    pub const HARD: u32 = 6;
+    pub const TIMEOUT: u32 = 7;
+    pub const STALE: u32 = 8;
+    pub const KILL: u32 = 9;
+}
+
+fn case_meta(case: &ChaosCase) -> Vec<(u32, u64)> {
+    vec![
+        (meta::SEED, case.seed),
+        (meta::CHANNELS, case.channels as u64),
+        (meta::NCOPIES, case.ncopies as u64),
+        (meta::LEN, case.len as u64),
+        (meta::TRANSIENT, case.transient.to_bits()),
+        (meta::HARD, case.hard.to_bits()),
+        (meta::TIMEOUT, case.timeout.to_bits()),
+        (meta::STALE, case.stale.to_bits()),
+        (meta::KILL, case.kill as u64),
+    ]
+}
+
+fn case_from_trace(trace: &Trace) -> ChaosCase {
+    let get = |k: u32| trace.meta(k).expect("trace lacks a case Meta key");
+    ChaosCase {
+        seed: get(meta::SEED),
+        channels: get(meta::CHANNELS) as usize,
+        ncopies: get(meta::NCOPIES) as usize,
+        len: get(meta::LEN) as usize,
+        transient: f64::from_bits(get(meta::TRANSIENT)),
+        hard: f64::from_bits(get(meta::HARD)),
+        timeout: f64::from_bits(get(meta::TIMEOUT)),
+        stale: f64::from_bits(get(meta::STALE)),
+        kill: get(meta::KILL) != 0,
+    }
+}
+
+/// Whether (and how) a chaos run is traced.
+enum TraceMode {
+    Off,
+    Record,
+    Replay(Trace),
+}
+
+/// Saves a failing run's trace for `TRACE_REPLAY` and returns its path.
+fn save_repro_trace(tracer: &Rc<Tracer>, tag: &str, seed: u64) -> String {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).ok();
+    let path = dir.join(format!("chaos-{tag}-{seed:016x}.cptr"));
+    tracer.finish().save(&path).expect("save repro trace");
+    path.display().to_string()
+}
+
 fn run_chaos(case: &ChaosCase) -> Outcome {
+    run_chaos_traced(case, TraceMode::Off).0
+}
+
+fn run_chaos_traced(case: &ChaosCase, mode: TraceMode) -> (Outcome, Option<Rc<Tracer>>) {
     let mut sim = Sim::new();
     let h = sim.handle();
     let machine = Machine::new(&h, 2);
@@ -140,12 +209,26 @@ fn run_chaos(case: &ChaosCase) -> Outcome {
         dma_timeout_prob: case.timeout,
         atc_stale_prob: case.stale,
     });
+    // Record/replay hook: the case itself is the trace prologue, then the
+    // fault plan and the service both stream into (or out of) the log.
+    let tracer = match mode {
+        TraceMode::Off => None,
+        TraceMode::Record => Some(Tracer::record()),
+        TraceMode::Replay(trace) => Some(Tracer::replay(trace)),
+    };
+    if let Some(t) = &tracer {
+        for (key, val) in case_meta(case) {
+            t.emit(TraceEvent::Meta { key, val });
+        }
+        plan.set_tracer(t);
+    }
     let svc = os.install_copier(
         vec![os.machine.core(1)],
         CopierConfig {
             use_dma: true,
             dma_channels: case.channels,
             fault_plan: Some(Rc::clone(&plan)),
+            tracer: tracer.clone(),
             ..Default::default()
         },
     );
@@ -239,15 +322,18 @@ fn run_chaos(case: &ChaosCase) -> Outcome {
         }
     }
 
-    Outcome {
-        end: end.as_nanos(),
-        stats: stats_key(&svc),
-        log: plan.log(),
-        per_copy,
-        digest,
-        pinned: os.pm.pinned_frames(),
-        phantoms,
-    }
+    (
+        Outcome {
+            end: end.as_nanos(),
+            stats: stats_key(&svc),
+            log: plan.log(),
+            per_copy,
+            digest,
+            pinned: os.pm.pinned_frames(),
+            phantoms,
+        },
+        tracer,
+    )
 }
 
 fn prop_cases() -> Config {
@@ -269,7 +355,13 @@ fn chaos_no_phantom_done_segments() {
         |rng| gen_case(rng, 0.2),
         |_| Vec::new(),
         |case: &ChaosCase| {
-            let out = run_chaos(case);
+            let (out, tracer) = run_chaos_traced(case, TraceMode::Record);
+            if !out.phantoms.is_empty() {
+                let path = save_repro_trace(&tracer.unwrap(), "phantom", case.seed);
+                eprintln!(
+                    "repro: TRACE_REPLAY={path} cargo test -q --test chaos chaos_replay_from_env"
+                );
+            }
             prop_assert!(
                 out.phantoms.is_empty(),
                 "phantom-done segments: {:?}",
@@ -291,7 +383,13 @@ fn chaos_pins_never_leak() {
         |rng| gen_case(rng, 0.6),
         |_| Vec::new(),
         |case: &ChaosCase| {
-            let out = run_chaos(case);
+            let (out, tracer) = run_chaos_traced(case, TraceMode::Record);
+            if out.pinned != 0 {
+                let path = save_repro_trace(&tracer.unwrap(), "pins", case.seed);
+                eprintln!(
+                    "repro: TRACE_REPLAY={path} cargo test -q --test chaos chaos_replay_from_env"
+                );
+            }
             prop_assert_eq!(out.pinned, 0, "leaked pins");
             Ok(())
         },
@@ -315,6 +413,121 @@ fn chaos_same_seed_identical_outcome() {
             Ok(())
         },
     );
+}
+
+/// Tentpole property: a recorded chaos run replays byte-identically —
+/// same outcome, no divergence, and the replay's own re-recorded trace
+/// encodes to the same bytes as the original log.
+#[test]
+fn chaos_record_replay_identical() {
+    let mut cfg = prop_cases();
+    cfg.cases = (cfg.cases / 3).max(6); // each case runs two full sims
+    check_with(
+        &cfg,
+        |rng| gen_case(rng, 0.3),
+        |_| Vec::new(),
+        |case: &ChaosCase| {
+            let (a, rec) = run_chaos_traced(case, TraceMode::Record);
+            let trace = rec.unwrap().finish();
+            prop_assert!(!trace.events().is_empty(), "recorded nothing");
+            let (b, rep) = run_chaos_traced(case, TraceMode::Replay(trace.clone()));
+            let rep = rep.unwrap();
+            prop_assert!(
+                rep.divergence().is_none(),
+                "faithful replay diverged: {}",
+                rep.divergence().unwrap()
+            );
+            prop_assert_eq!(a, b, "replayed outcome differs from recorded run");
+            prop_assert_eq!(
+                rep.finish().encode(),
+                trace.encode(),
+                "re-recorded trace is not byte-identical"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Tentpole property: perturbing one recorded fault draw makes the
+/// divergence checker fire at (or just after) the perturbed round — the
+/// checker localizes *where* a replay left the recorded timeline.
+#[test]
+fn chaos_replay_divergence_localizes() {
+    let case = ChaosCase {
+        seed: 0x7EA5_E01D,
+        channels: 2,
+        ncopies: 5,
+        len: 96 * 1024,
+        transient: 0.3,
+        hard: 0.0,
+        timeout: 0.1,
+        stale: 0.3,
+        kill: false,
+    };
+    let (_, rec) = run_chaos_traced(&case, TraceMode::Record);
+    let mut trace = rec.unwrap().finish();
+
+    // Find the first DMA draw and the round it belongs to, then flip its
+    // outcome (none <-> transient) so the replayed execution must differ.
+    let mut round = 0u64;
+    let mut hit = None;
+    for (i, e) in trace.events().iter().enumerate() {
+        match e {
+            TraceEvent::RoundStart { round: r, .. } => round = *r,
+            TraceEvent::DmaDraw { .. } if hit.is_none() => hit = Some((i, round)),
+            _ => {}
+        }
+    }
+    let (pos, bad_round) = hit.expect("case injected no DMA draws");
+    let TraceEvent::DmaDraw { fault } = trace.events()[pos] else {
+        unreachable!()
+    };
+    trace.events_mut()[pos] = TraceEvent::DmaDraw {
+        fault: if fault == 0 { 1 } else { 0 },
+    };
+
+    let (_, rep) = run_chaos_traced(&case, TraceMode::Replay(trace));
+    let d = rep
+        .unwrap()
+        .divergence()
+        .expect("perturbed replay must diverge");
+    // The prefix before the perturbation replays verbatim, so the checker
+    // must point at or after it — never before.
+    assert!(
+        d.pos > pos,
+        "divergence at event {} precedes the perturbation at {pos}: {d}",
+        d.pos
+    );
+    assert!(
+        d.round >= bad_round,
+        "divergence at round {} precedes the perturbed round {bad_round}: {d}",
+        d.round
+    );
+}
+
+/// `TRACE_REPLAY=<path>` repro knob: re-executes a saved chaos trace in
+/// replay mode and asserts the run is faithful and the original
+/// invariants hold. Silently passes when the variable is unset.
+#[test]
+fn chaos_replay_from_env() {
+    let Ok(path) = std::env::var("TRACE_REPLAY") else {
+        return;
+    };
+    let trace = Trace::load(std::path::Path::new(&path)).expect("load TRACE_REPLAY trace");
+    let case = case_from_trace(&trace);
+    eprintln!("replaying {path}: {case:?}");
+    let (out, rep) = run_chaos_traced(&case, TraceMode::Replay(trace));
+    if let Some(d) = rep.unwrap().divergence() {
+        panic!("replay diverged from the recording: {d}");
+    }
+    eprintln!(
+        "replay faithful: end={} pinned={} phantoms={}",
+        out.end,
+        out.pinned,
+        out.phantoms.len()
+    );
+    assert!(out.phantoms.is_empty(), "phantoms: {:?}", out.phantoms);
+    assert_eq!(out.pinned, 0, "leaked pins");
 }
 
 /// Property 4: absorption never forwards from a poisoned source. A
