@@ -48,6 +48,7 @@ fn run_once(ncopies: usize, len: usize, seed: u64, tracer: Option<Rc<Tracer>>) -
         dma_hard_prob: 0.0,
         dma_timeout_prob: 0.1,
         atc_stale_prob: 0.2,
+        ..Default::default()
     });
     if let Some(t) = &tracer {
         t.emit(TraceEvent::Meta { key: 1, val: seed });

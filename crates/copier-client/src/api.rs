@@ -14,8 +14,8 @@ use std::rc::Rc;
 use copier_core::{
     Client, Copier, CopyFault, CopyTask, Handler, QueueEntry, SegDescriptor, SyncTask,
 };
-use copier_hw::CostModel;
-use copier_mem::{AddressSpace, VirtAddr};
+use copier_hw::{CostModel, CpuCopyKind};
+use copier_mem::{AddressSpace, MemError, VirtAddr};
 use copier_sim::{Core, Nanos};
 
 use crate::pool::DescriptorPool;
@@ -76,7 +76,9 @@ pub struct AmemcpyOpts {
 
 /// A per-process libCopier instance.
 pub struct CopierHandle {
-    svc: Rc<Copier>,
+    /// The service incarnation this handle currently talks to; swapped
+    /// by [`CopierHandle::reattach`] after a crash–restart.
+    svc: RefCell<Rc<Copier>>,
     /// The registered client (queues and scheduler state).
     pub client: Rc<Client>,
     cost: Rc<CostModel>,
@@ -86,6 +88,8 @@ pub struct CopierHandle {
     tracked: RefCell<Vec<Tracked>>,
     /// Client-side spin step while waiting in csync.
     pub spin_step: Nanos,
+    /// §4.6 synchronous copies performed because the service was down.
+    sync_fallbacks: Cell<u64>,
 }
 
 impl CopierHandle {
@@ -93,19 +97,84 @@ impl CopierHandle {
     pub fn new(svc: &Rc<Copier>, uspace: Rc<AddressSpace>) -> Rc<Self> {
         let client = svc.register_client(Rc::clone(&uspace));
         Rc::new(CopierHandle {
-            svc: Rc::clone(svc),
+            svc: RefCell::new(Rc::clone(svc)),
             client,
             cost: Rc::clone(svc.cost_model()),
             uspace,
             pool: DescriptorPool::new(),
             tracked: RefCell::new(Vec::new()),
             spin_step: Nanos(200),
+            sync_fallbacks: Cell::new(0),
         })
     }
 
-    /// The service this handle talks to.
-    pub fn service(&self) -> &Rc<Copier> {
-        &self.svc
+    /// The service this handle currently talks to.
+    pub fn service(&self) -> Rc<Copier> {
+        self.svc()
+    }
+
+    /// Current service incarnation (never hold the borrow across an
+    /// await: every use clones the `Rc` out immediately).
+    fn svc(&self) -> Rc<Copier> {
+        Rc::clone(&self.svc.borrow())
+    }
+
+    /// Synchronous fallback copies performed while the service was down.
+    pub fn sync_fallbacks(&self) -> u64 {
+        self.sync_fallbacks.get()
+    }
+
+    /// Re-attaches this handle to a restarted service incarnation
+    /// (DESIGN.md §15 client side). The client's rings, window, credits
+    /// and descriptors all live in client-owned memory and survived the
+    /// crash; `adopt_client` reconciles them against the new
+    /// incarnation's replayed journal and hands back the tasks whose
+    /// admission never became durable. Those are resubmitted here —
+    /// they still hold their original submission credits, so they go
+    /// straight back into the rings without re-taking one. Returns the
+    /// number of tasks resubmitted.
+    pub async fn reattach(self: &Rc<Self>, core: &Rc<Core>, new_svc: &Rc<Copier>) -> usize {
+        let dropped = new_svc.adopt_client(&self.client);
+        *self.svc.borrow_mut() = Rc::clone(new_svc);
+        let mut n = 0usize;
+        for (set_idx, task) in dropped {
+            // The drop rolled the task back to "submitted, not yet
+            // admitted". Admissions journal before any of their bytes
+            // move, so the descriptor carries no real progress; reset
+            // re-arms recycled descriptors whose bits predate this
+            // submission.
+            task.descr.reset();
+            let set = self.client.set(set_idx as usize);
+            let mut entry = QueueEntry::Copy(task);
+            let mut attempt = 0u32;
+            loop {
+                match set.uq.copy.push(entry) {
+                    Ok(()) => {
+                        n += 1;
+                        break;
+                    }
+                    Err(rejected) => {
+                        entry = rejected.0;
+                        if attempt >= MAX_SUBMIT_ATTEMPTS {
+                            // The ring stayed full across the whole
+                            // budget: surface a typed overload and
+                            // return the credit the original
+                            // submission still holds.
+                            let QueueEntry::Copy(t) = entry else {
+                                unreachable!("resubmission entries are copies")
+                            };
+                            t.descr.poison(CopyFault::Overloaded);
+                            self.client.grant_credit();
+                            break;
+                        }
+                        self.backoff(core, attempt).await;
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+        new_svc.awaken();
+        n
     }
 
     /// Creates an extra per-thread queue set (`copier_create_queue`);
@@ -118,13 +187,14 @@ impl CopierHandle {
     /// attempts, cache-warm) or sleep with exponentially growing slices
     /// (later attempts) so a blocked submitter never monopolizes its core.
     async fn backoff(&self, core: &Rc<Core>, attempt: u32) {
-        self.svc.awaken();
+        let svc = self.svc();
+        svc.awaken();
         if attempt < 4 {
             core.advance(self.spin_step).await;
         } else {
             let exp = (attempt - 4).min(10);
             let ns = (self.spin_step.as_nanos() << exp).min(200_000);
-            self.svc.sim_handle().sleep(Nanos(ns)).await;
+            svc.sim_handle().sleep(Nanos(ns)).await;
         }
     }
 
@@ -185,13 +255,13 @@ impl CopierHandle {
         let set = self.client.set(opts.fd);
         if set.uq.copy.push(QueueEntry::Copy(task)).is_err() {
             self.client.grant_credit();
-            self.svc.awaken();
+            self.svc().awaken();
             return Err(SubmitError::WouldBlock);
         }
         if !opts.untracked {
             self.track(track_id, dst, len, Rc::clone(&descr));
         }
-        self.svc.awaken();
+        self.svc().awaken();
         Ok(descr)
     }
 
@@ -206,6 +276,14 @@ impl CopierHandle {
         len: usize,
         opts: AmemcpyOpts,
     ) -> SubmitResult {
+        // §4.6 availability fallback: between a service crash and the
+        // supervisor's restart there is nobody to drain the rings.
+        // Copy synchronously on the caller's core instead of queueing
+        // into a dead incarnation — the call still returns a completed
+        // (or faulted) descriptor, just without the async overlap.
+        if self.svc().has_crashed() {
+            return self.sync_fallback(core, dst, src, len, opts).await;
+        }
         self.acquire_credit(core).await.inspect_err(|_| {
             if let Some(d) = &opts.descr {
                 d.reset();
@@ -256,7 +334,51 @@ impl CopierHandle {
         if !opts.untracked {
             self.track(track_id, dst, len, Rc::clone(&descr));
         }
-        self.svc.awaken();
+        self.svc().awaken();
+        Ok(descr)
+    }
+
+    /// The crash-window synchronous path (§4.6): performs the copy
+    /// inline, marks every segment, and settles the completion side
+    /// effects (handler, no credit was ever taken) under the same
+    /// exactly-once claim the service uses — so a duplicate settle after
+    /// recovery is impossible by construction.
+    async fn sync_fallback(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        dst: VirtAddr,
+        src: VirtAddr,
+        len: usize,
+        opts: AmemcpyOpts,
+    ) -> SubmitResult {
+        let (descr, task) = self.build_task(dst, src, len, &opts);
+        let r = crate::syncops::sync_copy(
+            core,
+            &self.cost,
+            CpuCopyKind::Avx2,
+            &task.dst_space,
+            dst,
+            &task.src_space,
+            src,
+            len,
+        )
+        .await;
+        match r {
+            Ok(_) => {
+                for i in 0..descr.num_segments() {
+                    descr.mark(i);
+                }
+                if descr.claim_delivery() {
+                    if let Some(Handler::UFunc(f)) = &task.func {
+                        f();
+                    }
+                }
+            }
+            Err(MemError::OutOfMemory) => descr.poison(CopyFault::OutOfMemory),
+            Err(_) => descr.poison(CopyFault::Segv),
+        }
+        self.sync_fallbacks.set(self.sync_fallbacks.get() + 1);
+        self.maybe_track(&opts, &task, &descr);
         Ok(descr)
     }
 
@@ -273,7 +395,7 @@ impl CopierHandle {
         // born all-ready and the service completes the task at the drain
         // boundary without touching memory.
         let seg = if opts.seg == 0 {
-            self.svc.config().segment
+            self.svc().config().segment
         } else {
             opts.seg
         };
@@ -503,11 +625,11 @@ impl CopierHandle {
                 }
             }
         }
-        self.svc.awaken();
+        self.svc().awaken();
         // Spin briefly (the paper's polling wait), then yield the core in
         // slices — on a saturated machine a blocked csync must not starve
         // co-scheduled work (sched_yield behavior).
-        let h = self.svc.sim_handle();
+        let h = self.svc().sim_handle().clone();
         let spin_deadline = h.now() + Nanos::from_micros(2);
         loop {
             if let Some(f) = descr.fault() {
@@ -566,7 +688,7 @@ impl CopierHandle {
         loop {
             match set.uq.sync.push(entry) {
                 Ok(()) => {
-                    self.svc.awaken();
+                    self.svc().awaken();
                     return true;
                 }
                 Err(rejected) => {
@@ -707,7 +829,7 @@ impl CopierHandle {
                 })
                 .is_ok();
             if placed {
-                self.svc.awaken();
+                self.svc().awaken();
                 return Ok(());
             }
             self.backoff(core, attempt).await;
@@ -819,7 +941,7 @@ impl KernelSection {
             self.open_pending.set(false);
         }
         self.lib.acquire_credit(core).await?;
-        let seg = self.lib.svc.config().segment;
+        let seg = self.lib.svc().config().segment;
         let descr = self.lib.pool.take(len, seg);
         let task = CopyTask {
             dst_space: Rc::clone(dst_space),
@@ -857,7 +979,7 @@ impl KernelSection {
             }
         }
         self.lib.track(dst_space.id(), dst, len, Rc::clone(&descr));
-        self.lib.svc.awaken();
+        self.lib.svc().awaken();
         Ok(descr)
     }
 

@@ -258,6 +258,11 @@ pub struct Client {
     pub inflight_bytes: Cell<u64>,
     /// Frames currently pinned on this client's behalf.
     pub pinned: Cell<u64>,
+    /// Epoch of the service incarnation the client is attached to —
+    /// stamped at registration and re-attach; the rings' epoch tag. A
+    /// mismatch against the live service tells the library its rings
+    /// predate a restart.
+    pub epoch: Cell<u64>,
 }
 
 impl Client {
@@ -276,6 +281,7 @@ impl Client {
             inflight_tasks: Cell::new(0),
             inflight_bytes: Cell::new(0),
             pinned: Cell::new(0),
+            epoch: Cell::new(0),
         })
     }
 

@@ -104,6 +104,14 @@ pub struct CopierConfig {
     /// lockstep. Recording is host-side only — virtual-time behaviour is
     /// identical with or without it. `None` disables tracing.
     pub tracer: Option<Rc<Tracer>>,
+    /// Control-plane journal store (DESIGN.md §15). When set, the service
+    /// journals admissions/completions/taints into it and, on
+    /// construction, replays whatever a previous incarnation left there —
+    /// the crash-recovery path. Journaling is host-side only: no virtual
+    /// time is charged and no PRNG draw is consumed, so a crash-free
+    /// journaled run is byte-identical to an unjournaled one. `None`
+    /// disables journaling (and recovery).
+    pub journal: Option<Rc<crate::journal::JournalStore>>,
 }
 
 impl Default for CopierConfig {
@@ -132,6 +140,7 @@ impl Default for CopierConfig {
             aggregation_delay: Nanos(150),
             admission: AdmissionConfig::default(),
             tracer: None,
+            journal: None,
         }
     }
 }

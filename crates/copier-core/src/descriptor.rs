@@ -25,6 +25,11 @@ pub enum CopyFault {
     /// in-flight quota, or the service shed load above its global
     /// watermark. Retry after completions return credits.
     Overloaded,
+    /// Crash recovery found the destination range neither untouched nor
+    /// fully copied (its sampled extent digest matches neither journaled
+    /// side): the bytes are partial and must not be consumed. Healed by
+    /// a later copy that fully overwrites the range.
+    Torn,
 }
 
 /// Default segment granularity (bytes).
@@ -37,6 +42,11 @@ pub struct SegDescriptor {
     bits: Vec<AtomicU64>,
     poisoned: AtomicBool,
     fault: std::cell::Cell<Option<CopyFault>>,
+    /// Whether the completion side effects (handler delivery + credit
+    /// grant) have fired. Lives in the descriptor — client-owned memory
+    /// that survives a service crash — so a restarted service and a
+    /// resubmitted duplicate settle each submission exactly once.
+    delivered: AtomicBool,
 }
 
 // SAFETY: `fault` is only written by the (single-threaded) service before
@@ -61,6 +71,7 @@ impl SegDescriptor {
             bits: (0..words).map(|_| AtomicU64::new(0)).collect(),
             poisoned: AtomicBool::new(false),
             fault: std::cell::Cell::new(None),
+            delivered: AtomicBool::new(false),
         }
     }
 
@@ -135,6 +146,7 @@ impl SegDescriptor {
         }
         self.fault.set(None);
         self.poisoned.store(false, Ordering::Release);
+        self.delivered.store(false, Ordering::Release);
     }
 
     /// Poisons the descriptor with a fault; `csync` will surface it.
@@ -150,6 +162,19 @@ impl SegDescriptor {
         } else {
             None
         }
+    }
+
+    /// Claims the one-shot right to deliver this submission's completion
+    /// side effects (handler + credit). Returns `true` exactly once per
+    /// descriptor lifetime — the atomic swap is the exactly-once gate
+    /// that makes duplicate window entries after a crash harmless.
+    pub fn claim_delivery(&self) -> bool {
+        !self.delivered.swap(true, Ordering::AcqRel)
+    }
+
+    /// Whether completion side effects already fired.
+    pub fn delivered(&self) -> bool {
+        self.delivered.load(Ordering::Acquire)
     }
 }
 
@@ -220,5 +245,17 @@ mod tests {
         assert_eq!(d.fault(), None);
         d.poison(CopyFault::Segv);
         assert_eq!(d.fault(), Some(CopyFault::Segv));
+    }
+
+    #[test]
+    fn delivery_claim_fires_exactly_once_until_reset() {
+        let d = SegDescriptor::new(64, 64);
+        assert!(!d.delivered());
+        assert!(d.claim_delivery(), "first claim wins");
+        assert!(!d.claim_delivery(), "duplicates are refused");
+        assert!(d.delivered());
+        d.reset();
+        assert!(!d.delivered(), "reset re-arms the descriptor for reuse");
+        assert!(d.claim_delivery());
     }
 }

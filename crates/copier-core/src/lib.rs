@@ -22,6 +22,7 @@ pub mod client;
 pub mod config;
 pub mod descriptor;
 pub mod interval;
+pub mod journal;
 pub mod pendindex;
 pub mod ring;
 pub mod sched;
@@ -35,6 +36,7 @@ pub use client::{
 pub use config::{AdmissionConfig, CopierConfig, PollMode};
 pub use descriptor::{CopyFault, SegDescriptor, DEFAULT_SEGMENT};
 pub use interval::IntervalSet;
+pub use journal::{AdmitRec, Journal, JournalStats, JournalStore, Recovered, TaintRec};
 pub use pendindex::{PendIndex, RangeKind};
 pub use ring::{Ring, RingFull};
 pub use sched::{CGroup, Scheduler, DEFAULT_COPY_SLICE};

@@ -17,6 +17,16 @@ use crate::client::Client;
 /// Default copy slice: maximum bytes served per scheduling round.
 pub const DEFAULT_COPY_SLICE: usize = 256 * 1024;
 
+/// Whether vruntime `a` is before `b` under wrap-around — the CFS
+/// `(s64)(a - b) < 0` idiom. The copied-length accumulators are monotone
+/// u64 counters that wrap on long-lived services; a direct `<` would then
+/// rank the freshly wrapped (most-served) client as least-served and pin
+/// the scheduler to it. Correct as long as no two live vruntimes are more
+/// than `u64::MAX / 2` apart, which the copy-slice bound guarantees.
+pub fn vruntime_before(a: u64, b: u64) -> bool {
+    (a.wrapping_sub(b) as i64) < 0
+}
+
 /// One control group with a `copier.shares` weight.
 pub struct CGroup {
     /// Human-readable name.
@@ -103,7 +113,11 @@ impl Scheduler {
             let cv = c.copied_total.get();
             let better = match &best {
                 None => true,
-                Some((bgv, bcv, _)) => (gv, cv) < (*bgv, *bcv),
+                Some((bgv, bcv, _)) => {
+                    // Lexicographic (cgroup, client) order, each level
+                    // compared wrap-safely.
+                    vruntime_before(gv, *bgv) || (gv == *bgv && vruntime_before(cv, *bcv))
+                }
             };
             if better {
                 best = Some((gv, cv, Rc::clone(c)));
@@ -112,16 +126,20 @@ impl Scheduler {
         best.map(|(_, _, c)| c)
     }
 
-    /// Charges `bytes` of copy to the client and its cgroup.
+    /// Charges `bytes` of copy to the client and its cgroup. The
+    /// accumulators wrap (never saturate): saturation would freeze every
+    /// client at `u64::MAX` and erase the fairness order, while wrapping
+    /// keeps relative distances — which [`vruntime_before`] compares —
+    /// exact across the boundary.
     pub fn charge(&self, client: &Client, bytes: usize) {
         client
             .copied_total
-            .set(client.copied_total.get() + bytes as u64);
+            .set(client.copied_total.get().wrapping_add(bytes as u64));
         let groups = self.cgroups.borrow();
         if let Some(g) = groups.get(client.cgroup.get()) {
             // Weighted: smaller shares accrue vruntime faster.
             let delta = (bytes as u64 * 1024) / g.shares.get();
-            g.vruntime.set(g.vruntime.get() + delta);
+            g.vruntime.set(g.vruntime.get().wrapping_add(delta));
         }
     }
 }
@@ -207,5 +225,32 @@ mod tests {
         s.charge(&a, 100);
         s.charge(&a, 200);
         assert_eq!(a.copied_total.get(), 300);
+    }
+
+    #[test]
+    fn fairness_order_survives_vruntime_wraparound() {
+        // Same class of hazard as the PR 6 ring-occupancy wrap bug: the
+        // vruntime accumulators are monotone counters compared for order.
+        // Park both clients just below u64::MAX and drive one across the
+        // boundary; the wrapped (most-served) client must NOT be ranked
+        // least-served.
+        let s = Scheduler::new();
+        let a = client_with_work(1);
+        let b = client_with_work(2);
+        let near = u64::MAX - 4096;
+        a.copied_total.set(near);
+        b.copied_total.set(near);
+        s.charge(&a, 8192); // wraps: a is now 8 KiB *ahead* of b
+        assert!(a.copied_total.get() < b.copied_total.get(), "a wrapped");
+        assert!(vruntime_before(b.copied_total.get(), a.copied_total.get()));
+        let picked = s
+            .pick(&[Rc::clone(&a), Rc::clone(&b)], Nanos::ZERO, Nanos::ZERO)
+            .unwrap();
+        assert_eq!(picked.id, 2, "the client that copied less is preferred");
+        // And the cgroup level wraps the same way.
+        let g = s.cgroup(0);
+        g.vruntime.set(u64::MAX - 10);
+        s.charge(&a, 4096);
+        assert!(g.vruntime.get() < u64::MAX - 10, "cgroup vruntime wrapped");
     }
 }

@@ -27,14 +27,15 @@ use copier_mem::{
     frames_of, AddressSpace, Extent, FrameId, MemError, PhysMem, VirtAddr, PAGE_SIZE,
 };
 use copier_sim::trace::{fnv_fold, TraceEvent, FNV_OFFSET};
-use copier_sim::{Core, Nanos, Notify, SimHandle};
+use copier_sim::{Core, CrashPoint, Nanos, Notify, SimHandle};
 
 use crate::absorb::{self, AbsorbPlan};
 use crate::client::{Client, ClientId, PendEntry, QueueSet, TaintRange};
 use crate::config::{CopierConfig, PollMode};
 use crate::descriptor::CopyFault;
 use crate::interval::IntervalSet;
-use crate::sched::Scheduler;
+use crate::journal::{AdmitRec, Journal, JournalStats, Recovered, TaintRec};
+use crate::sched::{vruntime_before, Scheduler};
 use crate::task::{CopyTask, Handler, QueueEntry, SyncTask, TaskId};
 
 /// Per-thread dispatch progress map, reused across rounds (cleared, not
@@ -109,6 +110,20 @@ pub struct CopierStats {
     pub rounds_settled: u64,
     /// Poll rounds that selected and executed a batch.
     pub rounds_active: u64,
+    /// Injected crashes taken by this incarnation (DESIGN.md §15).
+    pub crashes: u64,
+    /// Unfinished window entries re-adopted from the journal after a
+    /// restart; execution continues where the dead service stopped.
+    pub recovered_tasks: u64,
+    /// Journaled entries found already finished at adoption (the crash
+    /// hit between the bytes landing and finalization) and settled then.
+    pub recovered_finalized: u64,
+    /// Window entries whose admission never became durable, dropped
+    /// undelivered at adoption — recovered via client resubmission.
+    pub dropped_unjournaled: u64,
+    /// Journaled tasks whose destination was found torn at recovery and
+    /// poisoned [`CopyFault::Torn`].
+    pub torn_poisoned: u64,
 }
 
 struct Selected {
@@ -147,6 +162,17 @@ pub struct Copier {
     /// identity in the event log; counts every poll round, active or
     /// idle — idle rounds emit nothing thanks to lazy headers).
     round_no: Cell<u64>,
+    /// Set when an injected crash killed this incarnation: threads exit
+    /// immediately and the control plane survives only in the journal
+    /// store and client-owned memory.
+    crashed: Cell<bool>,
+    /// Service incarnation epoch (journal-derived; 0 when unjournaled).
+    epoch: Cell<u64>,
+    /// This incarnation's journal writer, if journaling is on.
+    journal: Option<Journal>,
+    /// What journal replay reconstructed at construction; consumed by
+    /// [`Copier::adopt_client`] for digest reconciliation.
+    recovered: RefCell<Option<Recovered>>,
 }
 
 impl Copier {
@@ -172,6 +198,25 @@ impl Copier {
         let atcache = Rc::new(ATCache::new(cfg.atcache_capacity.max(1)));
         atcache.set_enabled(cfg.atcache_capacity > 0);
         let threads = if cfg.auto_scale { 1 } else { cores.len() };
+        // Journal attach: replay whatever a previous incarnation left in
+        // the store (truncating a torn tail) and open a new epoch. The
+        // tid high-water mark carries forward so task ids never collide
+        // across incarnations, and a checkpointed stats vector restores
+        // the cumulative counters.
+        let (journal, recovered) = match &cfg.journal {
+            Some(store) => {
+                let (j, r) = Journal::attach(store);
+                (Some(j), Some(r))
+            }
+            None => (None, None),
+        };
+        let epoch = journal.as_ref().map_or(0, |j| j.epoch());
+        let next_tid = recovered.as_ref().map_or(1, |r| r.next_tid.max(1));
+        let stats = recovered
+            .as_ref()
+            .and_then(|r| r.stats.as_deref())
+            .map(stats_from_vec)
+            .unwrap_or_default();
         Rc::new(Copier {
             h: h.clone(),
             pm,
@@ -190,13 +235,17 @@ impl Copier {
             scenario_active: Cell::new(true),
             wake: Rc::new(Notify::new()),
             parked: Cell::new(0),
-            next_tid: Cell::new(1),
+            next_tid: Cell::new(next_tid),
             next_client: Cell::new(1),
-            stats: RefCell::new(CopierStats::default()),
+            stats: RefCell::new(stats),
             stopping: Cell::new(false),
             global_bytes: Cell::new(0),
             shedding: Cell::new(false),
             round_no: Cell::new(0),
+            crashed: Cell::new(false),
+            epoch: Cell::new(epoch),
+            journal,
+            recovered: RefCell::new(recovered),
         })
     }
 
@@ -275,13 +324,13 @@ impl Copier {
         (hp, hx, self.stats_digest())
     }
 
-    /// FNV-1a fold of every [`CopierStats`] field (field order is the
+    /// Canonical flattening of [`CopierStats`] (field order is the
     /// struct's declaration order; append-only like `stats_key` in the
-    /// chaos suite).
-    fn stats_digest(&self) -> u64 {
+    /// chaos suite) — the single shape both the trace state hash and the
+    /// journal checkpoint use.
+    fn stats_vec(&self) -> Vec<u64> {
         let s = self.stats();
-        let mut h = FNV_OFFSET;
-        for v in [
+        vec![
             s.tasks_completed,
             s.bytes_copied,
             s.bytes_absorbed,
@@ -314,7 +363,18 @@ impl Copier {
             s.index_entries_peak,
             s.rounds_settled,
             s.rounds_active,
-        ] {
+            s.crashes,
+            s.recovered_tasks,
+            s.recovered_finalized,
+            s.dropped_unjournaled,
+            s.torn_poisoned,
+        ]
+    }
+
+    /// FNV-1a fold of [`Copier::stats_vec`].
+    fn stats_digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for v in self.stats_vec() {
             h = fnv_fold(h, v);
         }
         h
@@ -335,6 +395,7 @@ impl Copier {
         // quota: libCopier consumes one credit per submission, the service
         // returns one per completion.
         c.set_credit_cap(self.cfg.admission.max_client_tasks);
+        c.epoch.set(self.epoch.get());
         self.clients.borrow_mut().push(Rc::clone(&c));
         c
     }
@@ -354,10 +415,65 @@ impl Copier {
         }
     }
 
-    /// Stops all service threads (test teardown).
+    /// Stops all service threads (test teardown). An orderly stop flushes
+    /// staged journal records first — unlike a crash, nothing is lost.
     pub fn stop(&self) {
+        if let Some(j) = &self.journal {
+            j.flush();
+        }
         self.stopping.set(true);
         self.wake.notify_all();
+    }
+
+    /// Whether an injected crash killed this incarnation. The library
+    /// treats a crashed service as down: it falls back to synchronous
+    /// copies until re-attached to a successor (§4.6-style fallback).
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.get()
+    }
+
+    /// This incarnation's epoch (0 when journaling is off).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Journal activity counters, if journaling is on.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal.as_ref().map(|j| j.stats())
+    }
+
+    /// What journal replay reconstructed at construction (`None` when
+    /// journaling is off).
+    pub fn recovered(&self) -> Option<Recovered> {
+        self.recovered.borrow().clone()
+    }
+
+    /// Consults the crash oracle at `point`; on fire, this incarnation
+    /// dies on the spot: every thread exits at its next check, no further
+    /// journal flush happens (beyond what the point itself implies), and
+    /// recovery is left to a successor service over the same store.
+    fn maybe_crash(&self, point: CrashPoint) -> bool {
+        let Some(plan) = &self.cfg.fault_plan else {
+            return false;
+        };
+        if !plan.decide_crash(point) {
+            return false;
+        }
+        self.crashed.set(true);
+        self.stopping.set(true);
+        self.stats.borrow_mut().crashes += 1;
+        self.wake.notify_all();
+        true
+    }
+
+    /// Flushes staged journal records; compacts against a checkpoint of
+    /// the stats vector when the store outgrew its threshold.
+    fn journal_flush(&self) {
+        if let Some(j) = &self.journal {
+            if j.flush() {
+                j.compact(&self.stats_vec());
+            }
+        }
     }
 
     /// Currently active thread count (auto-scaling observable).
@@ -391,8 +507,10 @@ impl Copier {
             if self.stopping.get() {
                 // Closing memory checkpoint: the trace ends with a full
                 // physical digest so replay fidelity is checked even when
-                // the run stopped between periodic checkpoints.
-                if idx == 0 {
+                // the run stopped between periodic checkpoints. A crashed
+                // incarnation writes nothing more — like a real crash,
+                // its trace just ends mid-stream.
+                if idx == 0 && !self.crashed.get() {
                     if let Some(t) = &self.cfg.tracer {
                         t.record_mem(self.pm.digest());
                     }
@@ -496,7 +614,7 @@ impl Copier {
         for c in clients {
             let mut si = 0;
             while let Some(set) = c.set_at(si) {
-                n += self.drain_set(c, &set);
+                n += self.drain_set(c, &set, si as u32);
                 si += 1;
             }
         }
@@ -587,6 +705,26 @@ impl Copier {
                     syncs: synced as u64,
                 });
             }
+            // Crash point: after draining, before the admissions became
+            // durable — the staged Admit records die with this
+            // incarnation, so adoption drops the entries undelivered and
+            // the library resubmits them.
+            if self.maybe_crash(CrashPoint::MidDrain) {
+                return true;
+            }
+            // Crash point: mid-journal-flush — staged records reach the
+            // store but the final one is torn halfway, exercising the
+            // replayer's torn-tail truncation.
+            if self.maybe_crash(CrashPoint::MidJournalFlush) {
+                if let Some(j) = &self.journal {
+                    j.flush_torn();
+                }
+                return true;
+            }
+            // Durability boundary: this round's admissions flush before
+            // any of their bytes can move, so a journaled-but-absent task
+            // is never one with partial undigested progress.
+            self.journal_flush();
         }
         // 3. Schedule a client.
         let now = self.h.now();
@@ -606,6 +744,12 @@ impl Copier {
         self.stats.borrow_mut().rounds_active += 1;
         // 5–7. Plan, dispatch, complete.
         self.execute(core, &client, selected, &scratch.by_tid).await;
+        // Completion records staged by finalize become durable at round
+        // end; a crash inside `execute` loses them and the tasks replay
+        // as live, to be reconciled by digest at adoption.
+        if !self.crashed.get() {
+            self.journal_flush();
+        }
         true
     }
 
@@ -613,7 +757,7 @@ impl Copier {
     /// applying admission control to every copy task at the drain
     /// boundary — the backstop for submitters that bypass the library's
     /// credit pool.
-    fn drain_set(&self, client: &Rc<Client>, set: &Rc<QueueSet>) -> usize {
+    fn drain_set(&self, client: &Rc<Client>, set: &Rc<QueueSet>, set_idx: u32) -> usize {
         let mut n = 0;
         // k-mode first so barrier keys are in place before u entries drain.
         while let Some(e) = set.kq.copy.pop() {
@@ -626,7 +770,7 @@ impl Copier {
                         continue;
                     }
                     let key = (set.cur_k_key.get(), 0u8, bump(&set.seq));
-                    self.push_pending(client, set, key, t);
+                    self.push_pending(client, set, set_idx, key, t);
                 }
             }
         }
@@ -640,7 +784,7 @@ impl Copier {
                         continue;
                     }
                     let key = (bump(&set.u_index), 1u8, bump(&set.seq));
-                    self.push_pending(client, set, key, t);
+                    self.push_pending(client, set, set_idx, key, t);
                 }
             }
         }
@@ -692,15 +836,16 @@ impl Copier {
     /// its turn at the minimum, so shedding rotates fairly instead of
     /// exempting the whole band and never shedding at all.
     fn least_served(&self, client: &Rc<Client>) -> bool {
-        let min = self
+        // Wrap-safe minimum: a client is least-served iff no live client
+        // is strictly before it in vruntime order. A plain `min()` would
+        // misrank a freshly wrapped accumulator (see `vruntime_before`).
+        let cur = client.copied_total.get();
+        !self
             .clients
             .borrow()
             .iter()
             .filter(|c| !c.dead.get())
-            .map(|c| c.copied_total.get())
-            .min()
-            .unwrap_or(0);
-        client.copied_total.get() <= min
+            .any(|c| vruntime_before(c.copied_total.get(), cur))
     }
 
     /// Rejects a submission: the descriptor is poisoned `Overloaded` (a
@@ -709,8 +854,13 @@ impl Copier {
     /// its pool reflects true in-flight depth.
     fn shed(&self, client: &Rc<Client>, set: &Rc<QueueSet>, t: CopyTask) {
         t.descr.poison(CopyFault::Overloaded);
-        self.deliver_handler(set, &t);
-        client.grant_credit();
+        // The delivery claim keeps shedding exactly-once too: a
+        // crash-resubmitted duplicate that gets shed does not run the
+        // handler or mint a second credit.
+        if t.descr.claim_delivery() {
+            self.deliver_handler(set, &t);
+            client.grant_credit();
+        }
         let mut st = self.stats.borrow_mut();
         st.admission_rejected += 1;
         st.shed_bytes += t.len as u64;
@@ -720,6 +870,7 @@ impl Copier {
         &self,
         client: &Rc<Client>,
         set: &Rc<QueueSet>,
+        set_idx: u32,
         key: (u64, u8, u64),
         t: CopyTask,
     ) {
@@ -736,12 +887,14 @@ impl Copier {
             .map(|x| x.fault);
         if let Some(fault) = hit {
             t.descr.poison(fault);
-            self.deliver_handler(set, &t);
-            // No window entry exists to finalize, so the submission credit
-            // comes back here instead of on the completion path.
-            client.grant_credit();
+            if t.descr.claim_delivery() {
+                self.deliver_handler(set, &t);
+                // No window entry exists to finalize, so the submission
+                // credit comes back here instead of on the completion path.
+                client.grant_credit();
+            }
             let (dsp, dlo, dhi) = t.dst_range();
-            self.remember_taint(set, dsp, dlo, dhi, fault);
+            self.remember_taint(client, set, dsp, dlo, dhi, fault);
             let mut st = self.stats.borrow_mut();
             st.faults += 1;
             st.dependents_aborted += 1;
@@ -759,11 +912,13 @@ impl Copier {
         // forever. (The taint check above can never hit an empty source
         // range, which is right: a zero-length read forwards nothing.)
         if t.len == 0 {
-            self.deliver_handler(set, &t);
-            client.grant_credit();
-            let mut st = self.stats.borrow_mut();
-            st.credits_granted += 1;
-            st.tasks_completed += 1;
+            if t.descr.claim_delivery() {
+                self.deliver_handler(set, &t);
+                client.grant_credit();
+                let mut st = self.stats.borrow_mut();
+                st.credits_granted += 1;
+                st.tasks_completed += 1;
+            }
             return;
         }
         let tid = self.next_tid.get();
@@ -784,6 +939,27 @@ impl Copier {
             finalized: Cell::new(false),
         });
         let len = entry.task.len as u64;
+        // Journal the admission before it becomes visible to scheduling:
+        // the pre-copy extent digests of both ranges are what recovery
+        // reconciles a journaled-but-vanished task against. Sampling is
+        // host-side only — no virtual time, no PRNG draw.
+        if let Some(j) = &self.journal {
+            let t = &entry.task;
+            j.record_admit(AdmitRec {
+                tid,
+                client: client.id,
+                set_idx,
+                key,
+                dst_space: t.dst_space.id(),
+                dst: t.dst.0,
+                src_space: t.src_space.id(),
+                src: t.src.0,
+                len: t.len as u64,
+                seg: t.seg as u64,
+                dst_digest: t.dst_space.extent_digest(t.dst, t.len),
+                src_digest: t.src_space.extent_digest(t.src, t.len),
+            });
+        }
         set.index.insert(&entry);
         {
             let mut st = self.stats.borrow_mut();
@@ -1102,6 +1278,12 @@ impl Copier {
             }
         }
 
+        // Crash point: planned and pinned, nothing dispatched yet. Pins
+        // are recorded on the window entries (client-owned memory), so
+        // adoption can release every one of them.
+        if self.maybe_crash(CrashPoint::MidDispatch) {
+            return;
+        }
         if !planned.is_empty() {
             let map = Rc::clone(by_tid);
             let progress: ProgressFn = Rc::new(move |tid, off, len| {
@@ -1131,6 +1313,13 @@ impl Copier {
             self.sched.charge(client, planned_bytes);
         }
 
+        // Crash point: bytes landed (descriptor segments are marked, the
+        // copied intervals recorded) but nothing finalized — no handler,
+        // no credit, no Complete record. Adoption finds these entries
+        // finished and settles them exactly once.
+        if self.maybe_crash(CrashPoint::PreFinalize) {
+            return;
+        }
         // Completion pass.
         for s in sel.iter() {
             if s.entry.finished() {
@@ -1314,15 +1503,24 @@ impl Copier {
         if e.finalized.replace(true) {
             return;
         }
+        let fault_code = match (e.aborted.get(), e.failed.get()) {
+            (_, Some(f)) => copy_fault_code(f),
+            (true, None) => copy_fault_code(CopyFault::Aborted),
+            (false, None) => 0,
+        };
         // Descriptor state transition for the record/replay trace: one
         // TaskDone per window entry, in finalization order.
         if let Some(tr) = &self.cfg.tracer {
-            let fault = match (e.aborted.get(), e.failed.get()) {
-                (_, Some(f)) => copy_fault_code(f),
-                (true, None) => copy_fault_code(CopyFault::Aborted),
-                (false, None) => 0,
-            };
-            tr.emit(TraceEvent::TaskDone { tid: e.tid, fault });
+            tr.emit(TraceEvent::TaskDone {
+                tid: e.tid,
+                fault: fault_code,
+            });
+        }
+        // The completion becomes durable at the next journal flush; until
+        // then the task replays as live and is digest-reconciled at
+        // adoption.
+        if let Some(j) = &self.journal {
+            j.record_complete(e.tid, fault_code);
         }
         // Return the task's admission share and its submission credit —
         // the completion ring is where backpressure unwinds.
@@ -1337,12 +1535,17 @@ impl Copier {
         );
         self.global_bytes
             .set(self.global_bytes.get().saturating_sub(e.task.len as u64));
-        client.grant_credit();
-        self.stats.borrow_mut().credits_granted += 1;
-        // Handlers run for failed and aborted tasks too: the completion
-        // callback observes the outcome through the poisoned descriptor
-        // instead of being silently dropped.
-        self.deliver_handler(set, &e.task);
+        // The delivery claim (client memory, survives a crash) is the
+        // exactly-once gate: handler and credit fire for the first
+        // settlement of this submission across all service incarnations.
+        if e.task.descr.claim_delivery() {
+            client.grant_credit();
+            self.stats.borrow_mut().credits_granted += 1;
+            // Handlers run for failed and aborted tasks too: the
+            // completion callback observes the outcome through the
+            // poisoned descriptor instead of being silently dropped.
+            self.deliver_handler(set, &e.task);
+        }
         if !e.aborted.get() && e.failed.get().is_none() {
             self.stats.borrow_mut().tasks_completed += 1;
         }
@@ -1375,8 +1578,34 @@ impl Copier {
         }
     }
 
-    /// Records a garbaged destination range on the set (bounded list).
-    fn remember_taint(&self, set: &Rc<QueueSet>, space: u32, lo: u64, hi: u64, fault: CopyFault) {
+    /// Records a garbaged destination range on the set (bounded list)
+    /// and mirrors it into the journal so the §4.4 dependency wall
+    /// survives a service restart.
+    fn remember_taint(
+        &self,
+        client: &Rc<Client>,
+        set: &Rc<QueueSet>,
+        space: u32,
+        lo: u64,
+        hi: u64,
+        fault: CopyFault,
+    ) {
+        if let Some(j) = &self.journal {
+            let set_idx = client
+                .sets
+                .borrow()
+                .iter()
+                .position(|s| Rc::ptr_eq(s, set))
+                .unwrap_or(0) as u32;
+            j.record_taint(TaintRec {
+                client: client.id,
+                set_idx,
+                space,
+                lo,
+                hi,
+                fault: copy_fault_code(fault),
+            });
+        }
         let mut t = set.tainted.borrow_mut();
         if t.len() >= 64 {
             t.remove(0);
@@ -1444,10 +1673,10 @@ impl Copier {
             self.finalize(client, set, p);
         }
         let (fsp, flo, fhi) = failed.task.dst_range();
-        self.remember_taint(set, fsp, flo, fhi, fault);
+        self.remember_taint(client, set, fsp, flo, fhi, fault);
         for p in killed.values() {
             let (sp, lo, hi) = p.task.dst_range();
-            self.remember_taint(set, sp, lo, hi, fault);
+            self.remember_taint(client, set, sp, lo, hi, fault);
         }
     }
 
@@ -1508,7 +1737,189 @@ impl Copier {
         client.credits.set(client.credit_cap.get());
         self.clients.borrow_mut().retain(|c| !Rc::ptr_eq(c, client));
         self.stats.borrow_mut().orphans_reclaimed += reclaimed;
+        // The reaped client's Complete records become durable right away
+        // so a crash after the reap never resurrects its tasks.
+        self.journal_flush();
         reclaimed
+    }
+
+    /// Re-attaches a client that survived a service crash — the recovery
+    /// protocol (DESIGN.md §15). The client's QueueSets — rings, pending
+    /// window, address index, credits, taints — live in client-owned
+    /// memory and survived; what died is the service-private control
+    /// state. Reconciling the two against the replayed journal:
+    ///
+    /// * every window entry's **pins are released** and its in-flight
+    ///   ranges cleared — the dead service's dispatch state is gone
+    ///   (copied ranges stay: those bytes physically landed);
+    /// * entries whose admission never became durable are **dropped
+    ///   undelivered** and handed back to the caller for client-side
+    ///   resubmission — safe because admissions flush before any of
+    ///   their bytes move, so a dropped entry never has partial
+    ///   progress;
+    /// * journaled entries found finished are **finalized now** (the
+    ///   crash hit between landing and finalization); unfinished ones
+    ///   are re-adopted and simply continue under the new incarnation;
+    /// * journaled-live tasks absent from every window finalized just
+    ///   before the crash with their Complete record lost: the
+    ///   destination is checked against the journaled extent digests
+    ///   and **poisoned [`CopyFault::Torn`]** when it matches neither
+    ///   side (neither untouched nor fully copied);
+    /// * journaled **taints are re-installed** (deduplicated) so the
+    ///   §4.4 dependency wall outlives the restart.
+    ///
+    /// Exactly-once handler delivery and credit return across all of
+    /// this rest on the descriptor's delivery claim, which lives in
+    /// client memory and therefore survives the crash.
+    ///
+    /// Returns the dropped (never-durable) tasks as `(set_idx, task)`
+    /// pairs; the library pushes them back into its rings — still
+    /// holding their original submission credits — so they run under
+    /// the new incarnation.
+    pub fn adopt_client(&self, client: &Rc<Client>) -> Vec<(u32, CopyTask)> {
+        assert!(!client.dead.get(), "cannot adopt a reaped client");
+        if client.id >= self.next_client.get() {
+            self.next_client.set(client.id + 1);
+        }
+        self.clients.borrow_mut().push(Rc::clone(client));
+        let recovered = self.recovered.borrow();
+        let empty = BTreeMap::new();
+        let live = recovered.as_ref().map_or(&empty, |r| &r.live);
+        let mut present = std::collections::BTreeSet::new();
+        let mut finish: Vec<(Rc<QueueSet>, Rc<PendEntry>)> = Vec::new();
+        let mut dropped_tasks: Vec<(u32, CopyTask)> = Vec::new();
+        let mut readopted = 0u64;
+        let mut si = 0;
+        while let Some(set) = client.set_at(si) {
+            si += 1;
+            let entries: Vec<Rc<PendEntry>> = set.pending.borrow().iter().cloned().collect();
+            for e in entries {
+                // The dead service's dispatch state is gone: release its
+                // pins and clear in-flight ranges. Landed bytes stay.
+                let mut unpinned = 0u64;
+                for (space, frames) in e.pins.borrow_mut().drain(..) {
+                    unpinned += frames.len() as u64;
+                    space.unpin_frames(&frames);
+                }
+                client
+                    .pinned
+                    .set(client.pinned.get().saturating_sub(unpinned));
+                *e.inflight.borrow_mut() = IntervalSet::new();
+                if !live.contains_key(&e.tid) {
+                    // Admission never became durable: drop undelivered.
+                    set.index.remove(&e);
+                    {
+                        let mut pending = set.pending.borrow_mut();
+                        let pos = pending.partition_point(|p| p.key < e.key);
+                        if pos < pending.len() && Rc::ptr_eq(&pending[pos], &e) {
+                            pending.remove(pos);
+                        }
+                    }
+                    client
+                        .inflight_tasks
+                        .set(client.inflight_tasks.get().saturating_sub(1));
+                    client.inflight_bytes.set(
+                        client
+                            .inflight_bytes
+                            .get()
+                            .saturating_sub(e.task.len as u64),
+                    );
+                    dropped_tasks.push((si as u32 - 1, e.task.clone()));
+                    continue;
+                }
+                present.insert(e.tid);
+                if e.finished() {
+                    finish.push((Rc::clone(&set), e));
+                } else {
+                    readopted += 1;
+                }
+            }
+        }
+        // Adopt the client's admitted bytes into this incarnation's
+        // global window *before* finalizing, so the subtraction on the
+        // finalize path balances.
+        self.global_bytes
+            .set(self.global_bytes.get() + client.inflight_bytes.get());
+        let refinalized = finish.len() as u64;
+        for (set, e) in &finish {
+            self.finalize(client, set, e);
+        }
+        // Digest reconciliation: journaled-live tasks absent from every
+        // window. Their entry was removed by the dead service's finalize
+        // (handler delivered, pins released) but the Complete record was
+        // lost; the destination must now look either untouched or fully
+        // copied. Anything else is a torn write — poison it.
+        for a in live.values().filter(|a| a.client == client.id) {
+            if present.contains(&a.tid) {
+                continue;
+            }
+            if a.dst_space != client.uspace.id() {
+                // Not sampleable through this client's space (k-space
+                // destination); the §4.4 cascade settled it pre-crash.
+                if let Some(j) = &self.journal {
+                    j.record_complete(a.tid, 0);
+                }
+                continue;
+            }
+            let cur = client.uspace.extent_digest(VirtAddr(a.dst), a.len as usize);
+            if cur == a.src_digest || cur == a.dst_digest {
+                // Fully copied (Complete record lost) or never started:
+                // either way the range is consistent; release it.
+                if let Some(j) = &self.journal {
+                    j.record_complete(a.tid, 0);
+                }
+                continue;
+            }
+            let set = client
+                .set_at(a.set_idx as usize)
+                .unwrap_or_else(|| client.default_set());
+            self.remember_taint(
+                client,
+                &set,
+                a.dst_space,
+                a.dst,
+                a.dst + a.len,
+                CopyFault::Torn,
+            );
+            if let Some(j) = &self.journal {
+                j.record_complete(a.tid, copy_fault_code(CopyFault::Torn));
+            }
+            self.stats.borrow_mut().torn_poisoned += 1;
+        }
+        // Re-install journaled taints (the in-memory list also survived —
+        // this is the belt for a client whose sets were recreated).
+        if let Some(r) = recovered.as_ref() {
+            for t in r.taints.iter().filter(|t| t.client == client.id) {
+                if let Some(set) = client.set_at(t.set_idx as usize) {
+                    let mut list = set.tainted.borrow_mut();
+                    let dup = list
+                        .iter()
+                        .any(|x| x.space == t.space && x.lo == t.lo && x.hi == t.hi);
+                    if !dup {
+                        if list.len() >= 64 {
+                            list.remove(0);
+                        }
+                        list.push(TaintRange {
+                            space: t.space,
+                            lo: t.lo,
+                            hi: t.hi,
+                            fault: copy_fault_from_code(t.fault),
+                        });
+                    }
+                }
+            }
+        }
+        drop(recovered);
+        {
+            let mut st = self.stats.borrow_mut();
+            st.dropped_unjournaled += dropped_tasks.len() as u64;
+            st.recovered_tasks += readopted;
+            st.recovered_finalized += refinalized;
+        }
+        client.epoch.set(self.epoch.get());
+        // Make the recovery itself durable immediately.
+        self.journal_flush();
+        dropped_tasks
     }
 }
 
@@ -1571,12 +1982,74 @@ fn mark_progress(e: &Rc<PendEntry>, off: usize, len: usize) {
     }
 }
 
-/// Wire encoding of a `CopyFault` for trace events (0 = no fault).
+/// Wire encoding of a `CopyFault` for trace and journal records
+/// (0 = no fault).
 fn copy_fault_code(f: CopyFault) -> u8 {
     match f {
         CopyFault::Segv => 1,
         CopyFault::OutOfMemory => 2,
         CopyFault::Aborted => 3,
         CopyFault::Overloaded => 4,
+        CopyFault::Torn => 5,
+    }
+}
+
+/// Inverse of [`copy_fault_code`] for journaled taints. Unknown codes
+/// decode as `Torn` — the conservative "do not consume these bytes".
+fn copy_fault_from_code(code: u8) -> CopyFault {
+    match code {
+        1 => CopyFault::Segv,
+        2 => CopyFault::OutOfMemory,
+        3 => CopyFault::Aborted,
+        4 => CopyFault::Overloaded,
+        _ => CopyFault::Torn,
+    }
+}
+
+/// Inverse of `Copier::stats_vec` for checkpoint restore. Fields missing
+/// from an older (shorter) checkpoint read as zero, so the vector stays
+/// append-only like the digest it feeds.
+fn stats_from_vec(v: &[u64]) -> CopierStats {
+    let g = |i: usize| v.get(i).copied().unwrap_or(0);
+    CopierStats {
+        tasks_completed: g(0),
+        bytes_copied: g(1),
+        bytes_absorbed: g(2),
+        bytes_deferred_executed: g(3),
+        syncs: g(4),
+        promotions: g(5),
+        aborts: g(6),
+        faults: g(7),
+        idle_polls: g(8),
+        busy_rounds: g(9),
+        dispatch: DispatchReport {
+            cpu_bytes: g(10) as usize,
+            dma_bytes: g(11) as usize,
+            dma_descriptors: g(12) as usize,
+            dma_wait: Nanos(g(13)),
+            retries: g(14),
+            fallback_bytes: g(15) as usize,
+        },
+        proactive_faults: g(16),
+        retries: g(17),
+        fallback_bytes: g(18),
+        quarantined_channels: g(19),
+        orphans_reclaimed: g(20),
+        dependents_aborted: g(21),
+        admission_rejected: g(22),
+        shed_bytes: g(23),
+        credits_granted: g(24),
+        degraded_sync_copies: g(25),
+        pressure_events: g(26),
+        hazard_scans: g(27),
+        index_hits: g(28),
+        index_entries_peak: g(29),
+        rounds_settled: g(30),
+        rounds_active: g(31),
+        crashes: g(32),
+        recovered_tasks: g(33),
+        recovered_finalized: g(34),
+        dropped_unjournaled: g(35),
+        torn_poisoned: g(36),
     }
 }

@@ -342,6 +342,56 @@ impl AddressSpace {
         self.pt.borrow().get(&va.vpn()).copied()
     }
 
+    /// Sampled, non-faulting FNV digest of the extent `[va, va+len)`:
+    /// folds the length plus the bytes of the extent's first and last
+    /// pages via pure page-table lookups. Unmapped pages fold as zeros
+    /// (demand-zero semantics), so digesting never touches the space —
+    /// no fault, no allocation, no generation bump.
+    ///
+    /// Used by the crash-recovery journal to detect torn destinations:
+    /// head/tail sampling keeps the per-admission cost `O(PAGE_SIZE)`
+    /// regardless of extent size, and a partial copy lands a prefix, so
+    /// the head page catches it.
+    pub fn extent_digest(&self, va: VirtAddr, len: usize) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (len as u64);
+        h = h.wrapping_mul(PRIME);
+        if len == 0 {
+            return h;
+        }
+        let end = va.0 + len as u64;
+        let first_end = ((va.vpn() + 1) * PAGE_SIZE as u64).min(end);
+        let mut chunks = [(va.0, first_end), (0, 0)];
+        if first_end < end {
+            let last_start = ((end - 1) / PAGE_SIZE as u64 * PAGE_SIZE as u64).max(first_end);
+            chunks[1] = (last_start, end);
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        for &(s, e) in chunks.iter().filter(|&&(s, e)| s < e) {
+            let addr = VirtAddr(s);
+            let n = (e - s) as usize;
+            let chunk = &mut buf[..n];
+            if let Some(pte) = self.translate(addr) {
+                self.pm.read(pte.frame, addr.page_off(), chunk);
+            } else {
+                chunk.fill(0);
+            }
+            // Word-at-a-time fold: the digest is only ever compared for
+            // equality against digests from this same function, so the
+            // wider mixing step is free to differ from byte-FNV — and it
+            // keeps the per-admission sampling cost off the service's
+            // host-time profile.
+            let mut words = chunk.chunks_exact(8);
+            for w in words.by_ref() {
+                h = (h ^ u64::from_le_bytes(w.try_into().unwrap())).wrapping_mul(PRIME);
+            }
+            for &b in words.remainder() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+
     /// Resolves one page for an access, faulting as needed.
     ///
     /// Returns the backing frame and the work done (for cost charging).

@@ -35,6 +35,49 @@ pub enum DmaFault {
     Timeout,
 }
 
+/// A round sub-step at which the service consults the crash oracle.
+///
+/// The points bracket the interesting control-plane states: after tasks
+/// moved off the submission rings but before any journal flush
+/// (`MidDrain`), while pins are held but no byte has moved
+/// (`MidDispatch`), after bytes landed but before handlers/credits
+/// settle (`PreFinalize`), and during the journal append itself, where
+/// the final record is torn mid-write (`MidJournalFlush`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After ring drain/sync, before admitted submissions are journaled.
+    MidDrain,
+    /// After translate+pin planning, before the copy batch dispatches.
+    MidDispatch,
+    /// After the batch executed, before the completion/finalize pass.
+    PreFinalize,
+    /// During the journal flush: the final staged record is torn.
+    MidJournalFlush,
+}
+
+impl CrashPoint {
+    /// Wire encoding of the crash point.
+    pub fn code(self) -> u8 {
+        match self {
+            CrashPoint::MidDrain => 0,
+            CrashPoint::MidDispatch => 1,
+            CrashPoint::PreFinalize => 2,
+            CrashPoint::MidJournalFlush => 3,
+        }
+    }
+
+    /// Decodes a crash point; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(CrashPoint::MidDrain),
+            1 => Some(CrashPoint::MidDispatch),
+            2 => Some(CrashPoint::PreFinalize),
+            3 => Some(CrashPoint::MidJournalFlush),
+            _ => None,
+        }
+    }
+}
+
 /// Probabilities (per interposition event) of each injected fault class.
 #[derive(Debug, Clone)]
 pub struct FaultConfig {
@@ -49,6 +92,13 @@ pub struct FaultConfig {
     /// Per-hit probability that a cached translation is treated as stale
     /// (forcing a fresh page walk).
     pub atc_stale_prob: f64,
+    /// Per-crash-point probability that the service dies there. Zero
+    /// disables the crash oracle entirely — no PRNG draw is consumed, so
+    /// crash-free schedules are byte-identical to pre-crash-layer runs.
+    pub crash_prob: f64,
+    /// Upper bound on injected crashes; past it every draw decides "no"
+    /// (the draw is still consumed, keeping the schedule stable).
+    pub max_crashes: u64,
 }
 
 impl Default for FaultConfig {
@@ -59,6 +109,8 @@ impl Default for FaultConfig {
             dma_hard_prob: 0.0,
             dma_timeout_prob: 0.0,
             atc_stale_prob: 0.0,
+            crash_prob: 0.0,
+            max_crashes: 0,
         }
     }
 }
@@ -74,12 +126,14 @@ pub struct FaultLog {
     pub dma_timeout: u64,
     /// Stale ATCache hits injected.
     pub atc_stale: u64,
+    /// Service crashes injected.
+    pub crashes: u64,
 }
 
 impl FaultLog {
     /// Total injected faults of any class.
     pub fn total(&self) -> u64 {
-        self.dma_transient + self.dma_hard + self.dma_timeout + self.atc_stale
+        self.dma_transient + self.dma_hard + self.dma_timeout + self.atc_stale + self.crashes
     }
 }
 
@@ -225,6 +279,51 @@ impl FaultPlan {
         stale
     }
 
+    /// Decides whether the service crashes at `point`.
+    ///
+    /// With `crash_prob == 0.0` this consumes no draw at all, so enabling
+    /// the crash-capable oracle does not perturb crash-free schedules.
+    /// Otherwise exactly one draw is consumed per consultation; once
+    /// `max_crashes` fired, the draw still happens but the answer is
+    /// forced to "no", keeping the decision stream length stable.
+    pub fn decide_crash(&self, point: CrashPoint) -> bool {
+        if self.cfg.crash_prob <= 0.0 {
+            return false;
+        }
+        let tracer = self.tracer();
+        if let Some(t) = tracer.as_deref() {
+            if t.is_replay() {
+                if let Some(fire) = t.take_crash(point.code()) {
+                    if fire {
+                        self.count_crash();
+                    }
+                    return fire;
+                }
+                // Diverged: fall through to live draws.
+            }
+        }
+        let draw = self.rng.gen_bool(self.cfg.crash_prob);
+        let fire = draw && self.log.get().crashes < self.cfg.max_crashes;
+        if let Some(t) = tracer.as_deref() {
+            if !t.is_replay() {
+                t.emit(TraceEvent::CrashDraw {
+                    point: point.code(),
+                    fire,
+                });
+            }
+        }
+        if fire {
+            self.count_crash();
+        }
+        fire
+    }
+
+    fn count_crash(&self) {
+        let mut log = self.log.get();
+        log.crashes += 1;
+        self.log.set(log);
+    }
+
     /// Draws `n` virtual instants uniformly in `[0, horizon)` for delayed
     /// race events (`munmap`/exit against in-flight copies), sorted
     /// ascending. Harnesses spawn timer tasks at these instants.
@@ -269,6 +368,7 @@ mod tests {
             dma_hard_prob: 0.1,
             dma_timeout_prob: 0.1,
             atc_stale_prob: 0.2,
+            ..Default::default()
         })
     }
 
@@ -350,5 +450,83 @@ mod tests {
             }
         }
         assert_eq!(hard_a, hard_b, "hard-fail schedule independent of timeouts");
+    }
+
+    #[test]
+    fn disabled_crash_oracle_consumes_no_draws() {
+        // The crash oracle must be free when off: interleaving
+        // decide_crash calls with crash_prob == 0 must not shift the DMA
+        // decision stream.
+        let plain = chaotic(13);
+        let probed = chaotic(13);
+        for _ in 0..300 {
+            assert!(!probed.decide_crash(CrashPoint::MidDrain));
+            assert_eq!(plain.decide_dma(), probed.decide_dma());
+        }
+        assert_eq!(probed.log().crashes, 0);
+    }
+
+    #[test]
+    fn crash_schedule_is_seeded_and_bounded() {
+        let mk = || {
+            FaultPlan::new(FaultConfig {
+                seed: 41,
+                crash_prob: 0.2,
+                max_crashes: 3,
+                ..Default::default()
+            })
+        };
+        let a = mk();
+        let b = mk();
+        let mut fired = Vec::new();
+        for i in 0..200 {
+            let fa = a.decide_crash(CrashPoint::PreFinalize);
+            assert_eq!(fa, b.decide_crash(CrashPoint::PreFinalize));
+            if fa {
+                fired.push(i);
+            }
+        }
+        assert_eq!(a.log().crashes, 3, "max_crashes bounds injection");
+        assert_eq!(fired.len(), 3);
+        // Draws past the bound are still consumed: the DMA stream after
+        // the crash budget is spent matches a plan that kept drawing.
+        assert_eq!(a.decide_dma(), b.decide_dma());
+    }
+
+    #[test]
+    fn recorded_crash_draws_replay_verbatim() {
+        let rec = Tracer::record();
+        let a = FaultPlan::new(FaultConfig {
+            seed: 7,
+            crash_prob: 0.15,
+            max_crashes: 2,
+            ..Default::default()
+        });
+        a.set_tracer(&rec);
+        let points = [
+            CrashPoint::MidDrain,
+            CrashPoint::MidDispatch,
+            CrashPoint::PreFinalize,
+            CrashPoint::MidJournalFlush,
+        ];
+        let mut decisions = Vec::new();
+        for i in 0..100usize {
+            decisions.push(a.decide_crash(points[i % points.len()]));
+        }
+        let trace = rec.finish();
+
+        let rep = Tracer::replay(trace);
+        let b = FaultPlan::new(FaultConfig {
+            seed: 0xDEAD, // different seed: every decision must come from the log
+            crash_prob: 0.15,
+            max_crashes: 2,
+            ..Default::default()
+        });
+        b.set_tracer(&rep);
+        for (i, &fire) in decisions.iter().enumerate() {
+            assert_eq!(b.decide_crash(points[i % points.len()]), fire);
+        }
+        assert_eq!(rep.divergence(), None);
+        assert_eq!(a.log().crashes, b.log().crashes);
     }
 }

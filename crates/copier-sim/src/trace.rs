@@ -86,6 +86,10 @@ pub enum TraceEvent {
     /// Periodic physical-memory digest (checkpoint granularity; see
     /// DESIGN.md §14 for why it is not per-round).
     MemDigest { round: u64, digest: u64 },
+    /// One crash-oracle draw at a round sub-step (`point` is the
+    /// [`crate::fault::CrashPoint`] wire code; `fire` whether the
+    /// service died there).
+    CrashDraw { point: u8, fire: bool },
 }
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -192,6 +196,11 @@ impl TraceEvent {
                 put_varint(out, *round);
                 put_varint(out, *digest);
             }
+            TraceEvent::CrashDraw { point, fire } => {
+                out.push(12);
+                out.push(*point);
+                out.push(*fire as u8);
+            }
         }
     }
 
@@ -257,6 +266,10 @@ impl TraceEvent {
             11 => TraceEvent::MemDigest {
                 round: get_varint(buf, pos)?,
                 digest: get_varint(buf, pos)?,
+            },
+            12 => TraceEvent::CrashDraw {
+                point: byte(pos)?,
+                fire: byte(pos)? != 0,
             },
             t => return Err(format!("unknown event tag {t}")),
         })
@@ -628,6 +641,34 @@ impl Tracer {
         }
     }
 
+    /// Replay mode: consumes the next recorded crash draw for the crash
+    /// point with wire code `point`. `None` means the stream diverged
+    /// (the caller falls back to live draws).
+    pub fn take_crash(&self, point: u8) -> Option<bool> {
+        debug_assert!(self.is_replay());
+        if self.diverged.borrow().is_some() {
+            return None;
+        }
+        self.flush_header();
+        if self.diverged.borrow().is_some() {
+            return None;
+        }
+        let pos = self.cursor.get();
+        match self.recorded.get(pos) {
+            Some(&TraceEvent::CrashDraw { point: p, fire }) if p == point => {
+                self.cursor.set(pos + 1);
+                self.events
+                    .borrow_mut()
+                    .push(TraceEvent::CrashDraw { point, fire });
+                Some(fire)
+            }
+            _ => {
+                self.mark_divergence(format!("a crash draw at point {point} was requested"));
+                None
+            }
+        }
+    }
+
     /// Replay mode: consumes the next recorded race-time batch of
     /// exactly `n` instants.
     pub fn take_races(&self, n: usize) -> Option<Vec<u64>> {
@@ -722,6 +763,10 @@ mod tests {
             TraceEvent::MemDigest {
                 round: 1,
                 digest: FNV_OFFSET,
+            },
+            TraceEvent::CrashDraw {
+                point: 3,
+                fire: true,
             },
         ]
     }

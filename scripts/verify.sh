@@ -42,3 +42,15 @@ else
     python3 -c 'import json,sys; d=json.load(open("BENCH_trace.json")); sys.exit(0 if d["replay"]["identical"] else 1)'
 fi
 echo "BENCH_trace.json OK"
+
+# Crash smoke: journaled run + seeded crash/restart sweep — the bench
+# asserts virtual-time identity and crash coverage; the JSON must show
+# zero exactly-once violations (DESIGN.md §15). The 5% record-overhead
+# bar is full-mode only (smoke timings are too short to be meaningful).
+CRASH_SMOKE=1 cargo bench -q -p copier-bench --offline --locked --bench fig_crash
+if command -v jq >/dev/null 2>&1; then
+    jq -e '.exactly_once.violations == 0 and .exactly_once.crashes > 0' BENCH_crash.json >/dev/null
+else
+    python3 -c 'import json,sys; d=json.load(open("BENCH_crash.json"))["exactly_once"]; sys.exit(0 if d["violations"] == 0 and d["crashes"] > 0 else 1)'
+fi
+echo "BENCH_crash.json OK"

@@ -185,9 +185,15 @@ enum TraceMode {
 }
 
 /// Saves a failing run's trace for `TRACE_REPLAY` and returns its path.
+///
+/// Traces land in the repo's own `target/chaos-repros/` (created on
+/// demand, gitignored with the rest of `target/`) rather than the
+/// per-crate tmpdir: they survive `cargo` re-runs at a predictable
+/// location, so a failing CI log's `TRACE_REPLAY=` line still points at
+/// a file a developer can fetch and replay.
 fn save_repro_trace(tracer: &Rc<Tracer>, tag: &str, seed: u64) -> String {
-    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
-    std::fs::create_dir_all(dir).ok();
+    let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/target/chaos-repros"));
+    std::fs::create_dir_all(dir).expect("create target/chaos-repros");
     let path = dir.join(format!("chaos-{tag}-{seed:016x}.cptr"));
     tracer.finish().save(&path).expect("save repro trace");
     path.display().to_string()
@@ -208,6 +214,7 @@ fn run_chaos_traced(case: &ChaosCase, mode: TraceMode) -> (Outcome, Option<Rc<Tr
         dma_hard_prob: case.hard,
         dma_timeout_prob: case.timeout,
         atc_stale_prob: case.stale,
+        ..Default::default()
     });
     // Record/replay hook: the case itself is the trace prologue, then the
     // fault plan and the service both stream into (or out of) the log.

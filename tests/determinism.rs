@@ -73,6 +73,7 @@ fn fault_trace(seed: u64) -> (u64, Vec<u64>, FaultLog, u64) {
         dma_hard_prob: 0.05,
         dma_timeout_prob: 0.1,
         atc_stale_prob: 0.3,
+        ..Default::default()
     });
     let svc = os.install_copier(
         vec![os.machine.core(1)],

@@ -559,6 +559,93 @@ fn reap_returns_all_quota_credits_and_pins() {
     );
 }
 
+/// Satellite: reaping a client *while the service is pressure-degraded*
+/// reconciles exactly like a reap on the async path. Degraded-sync
+/// completions take no pins and return credits inline; the reap sweep
+/// must balance against that accounting, not double-return anything —
+/// credits end at the cap (not above), quotas at zero, no pins leaked.
+#[test]
+fn reap_during_pressure_degraded_mode_reconciles() {
+    for seed in [3u64, 17, 29] {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let machine = Machine::new(&h, 2);
+        let pm = Rc::new(PhysMem::new(4096, AllocPolicy::Scattered));
+        let svc = Copier::new(
+            &h,
+            Rc::clone(&pm),
+            vec![machine.core(1)],
+            Rc::new(CostModel::default()),
+            CopierConfig::default(),
+        );
+        svc.start();
+        let space = AddressSpace::new(1, Rc::clone(&pm));
+        let lib = CopierHandle::new(&svc, Rc::clone(&space));
+        let core = machine.core(0);
+        let len = 64 * 1024;
+        let src = space.mmap(len, Prot::RW, true).unwrap();
+        let dst = space.mmap(len, Prot::RW, true).unwrap();
+        space.write_bytes(src, &vec![5u8; len]).unwrap();
+        // Latch pressure before the first copy: every admitted task runs
+        // on the degraded unpinned synchronous path.
+        let hi = pm.allocated().max(2);
+        pm.set_watermarks(hi - 1, hi);
+
+        // The kill lands at a seeded instant inside the busy window, so
+        // across seeds the reap interleaves differently with degraded
+        // completions.
+        let svc2 = Rc::clone(&svc);
+        let lib2 = Rc::clone(&lib);
+        let h2 = h.clone();
+        let kill_at = Nanos(2_000 + seed * 13_777);
+        sim.spawn("killer", async move {
+            h2.sleep(kill_at).await;
+            svc2.reap_client(&lib2.client);
+        });
+
+        let svc3 = Rc::clone(&svc);
+        let lib3 = Rc::clone(&lib);
+        let h3 = h.clone();
+        sim.spawn("client", async move {
+            for _ in 0..6 {
+                // Post-reap rejections are expected; the property is the
+                // accounting, not the admissions.
+                let _ = lib3.amemcpy(&core, dst, src, len).await;
+            }
+            let _ = lib3.csync_all(&core).await;
+            h3.sleep(Nanos::from_micros(500)).await;
+            svc3.stop();
+        });
+        sim.run();
+
+        let st = svc.stats();
+        assert!(
+            st.pressure_events >= 1,
+            "seed {seed}: pressure never latched: {st:?}"
+        );
+        let c = &lib.client;
+        assert!(c.dead.get(), "seed {seed}: client must be dead after reap");
+        assert_eq!(
+            c.credits.get(),
+            c.credit_cap.get(),
+            "seed {seed}: credits must end exactly at the cap"
+        );
+        assert_eq!(c.inflight_tasks.get(), 0, "seed {seed}: task quota leaked");
+        assert_eq!(c.inflight_bytes.get(), 0, "seed {seed}: byte quota leaked");
+        assert_eq!(c.pinned.get(), 0, "seed {seed}: pinned quota leaked");
+        assert_eq!(
+            svc.admitted_bytes(),
+            0,
+            "seed {seed}: global admitted window not returned"
+        );
+        assert_no_pinned_leaks(&pm);
+        for set in c.sets.borrow().iter() {
+            set.index_consistent()
+                .unwrap_or_else(|m| panic!("seed {seed}: index diverged: {m}"));
+        }
+    }
+}
+
 /// Satellite property: every submission terminates in bounded time with
 /// success or a typed error — even against a service that never runs a
 /// single round (the pathological worst case for spin-retry).

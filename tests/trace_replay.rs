@@ -36,6 +36,7 @@ fn traced_run(seed: u64, plan_seed: u64, tracer: Option<Rc<Tracer>>) -> RunOut {
         dma_hard_prob: 0.05,
         dma_timeout_prob: 0.1,
         atc_stale_prob: 0.3,
+        ..Default::default()
     });
     if let Some(t) = &tracer {
         t.emit(TraceEvent::Meta { key: 1, val: seed });
