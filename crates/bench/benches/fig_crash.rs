@@ -422,6 +422,19 @@ fn main() {
                 ("violations", Json::Int(violations.len() as u64)),
             ]),
         ),
+        (
+            "summary",
+            Json::Arr(vec![
+                Json::summary("journal_overhead", "frac_max", 0.05, overhead),
+                Json::summary(
+                    "exactly_once_violations",
+                    "count_max",
+                    0.0,
+                    violations.len() as f64,
+                ),
+                Json::summary("crash_coverage", "count_min", 1.0, crashes as f64),
+            ]),
+        ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_crash.json");
     json.write_file(path).expect("write BENCH_crash.json");

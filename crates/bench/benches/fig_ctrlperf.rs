@@ -62,6 +62,7 @@ fn entry(tid: u64, sp: &Rc<AddressSpace>, src: u64, dst: u64, len: usize) -> Rc<
             descr: Rc::new(SegDescriptor::new(len, 4096)),
             func: None,
             lazy: false,
+            verify: false,
         },
         copied: RefCell::new(IntervalSet::new()),
         inflight: RefCell::new(IntervalSet::new()),
@@ -315,6 +316,29 @@ fn main() {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "summary",
+            Json::Arr({
+                // The trajectory metric is the deepest point of the sweep:
+                // that is where the linear control plane hurts most and the
+                // index must pay for itself.
+                let deepest = results.last().expect("sweep is non-empty");
+                vec![
+                    Json::summary(
+                        "absorb_speedup_deep",
+                        "speedup_min",
+                        1.0,
+                        deepest.absorb_speedup(),
+                    ),
+                    Json::summary(
+                        "csync_speedup_deep",
+                        "speedup_min",
+                        1.0,
+                        deepest.csync_speedup(),
+                    ),
+                ]
+            }),
         ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ctrlperf.json");

@@ -292,6 +292,27 @@ fn main() {
                     .collect(),
             ),
         ),
+        (
+            "summary",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        // overlap-move is memmove-bound either way: parity
+                        // is the honest expectation, so its bar is only a
+                        // no-regression check. The translate/gather paths
+                        // must actually win.
+                        let bar = if r.name == "overlap-move" { 0.8 } else { 1.0 };
+                        Json::summary(
+                            &format!("speedup_{}", r.name),
+                            "speedup_min",
+                            bar,
+                            r.speedup(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
     ]);
     // The bench binary runs with the package root as cwd; anchor the
     // output at the repo root so every BENCH_*.json lands in one place.

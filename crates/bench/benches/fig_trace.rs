@@ -242,6 +242,18 @@ fn main() {
                 ("detected_round", Json::Int(d.round)),
             ]),
         ),
+        (
+            "summary",
+            Json::Arr(vec![
+                Json::summary("record_overhead", "frac_max", 0.10, overhead),
+                Json::summary(
+                    "replay_identical",
+                    "flag_min",
+                    1.0,
+                    if identical { 1.0 } else { 0.0 },
+                ),
+            ]),
+        ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
     json.write_file(path).expect("write BENCH_trace.json");

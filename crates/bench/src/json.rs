@@ -39,6 +39,20 @@ impl Json {
         let mut f = std::fs::File::create(path)?;
         writeln!(f, "{self}")
     }
+
+    /// One normalized perf-trajectory row. Every `BENCH_*.json` carries a
+    /// top-level `summary` array of these so `scripts/bench_summary.sh`
+    /// can print the whole trajectory uniformly without knowing each
+    /// bench's bespoke layout. `bar` is the acceptance threshold the
+    /// bench asserts against (the direction is implied by the metric).
+    pub fn summary(name: &str, metric: &str, bar: f64, value: f64) -> Json {
+        Json::obj([
+            ("name", Json::Str(name.into())),
+            ("metric", Json::Str(metric.into())),
+            ("bar", Json::Num(bar)),
+            ("value", Json::Num(value)),
+        ])
+    }
 }
 
 fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -72,6 +72,11 @@ pub struct AmemcpyOpts {
     /// Skip the tracking table (caller keeps the descriptor and uses
     /// `_csync` with it directly).
     pub untracked: bool,
+    /// Force full end-to-end verification for this task (§integrity):
+    /// the dispatcher digests the whole source extent at dispatch and
+    /// re-digests the destination at completion, regardless of the
+    /// service-wide `VerifyPolicy`. Set by `amemcpy_verified`.
+    pub verified: bool,
 }
 
 /// A per-process libCopier instance.
@@ -90,6 +95,12 @@ pub struct CopierHandle {
     pub spin_step: Nanos,
     /// §4.6 synchronous copies performed because the service was down.
     sync_fallbacks: Cell<u64>,
+    /// Tasks submitted with per-task full verification
+    /// (`amemcpy_verified`).
+    verified_submitted: Cell<u64>,
+    /// `Corrupted` faults this client observed through csync — copies
+    /// whose destination failed end-to-end verification past repair.
+    corrupted_seen: Cell<u64>,
 }
 
 impl CopierHandle {
@@ -105,6 +116,8 @@ impl CopierHandle {
             tracked: RefCell::new(Vec::new()),
             spin_step: Nanos(200),
             sync_fallbacks: Cell::new(0),
+            verified_submitted: Cell::new(0),
+            corrupted_seen: Cell::new(0),
         })
     }
 
@@ -122,6 +135,12 @@ impl CopierHandle {
     /// Synchronous fallback copies performed while the service was down.
     pub fn sync_fallbacks(&self) -> u64 {
         self.sync_fallbacks.get()
+    }
+
+    /// Per-client integrity counters:
+    /// `(verified_submitted, corrupted_seen)`.
+    pub fn integrity_stats(&self) -> (u64, u64) {
+        (self.verified_submitted.get(), self.corrupted_seen.get())
     }
 
     /// Re-attaches this handle to a restarted service incarnation
@@ -228,6 +247,41 @@ impl CopierHandle {
     ) -> SubmitResult {
         self._amemcpy(core, dst, src, len, AmemcpyOpts::default())
             .await
+    }
+
+    /// Verified async memcpy (§integrity): like [`CopierHandle::amemcpy`]
+    /// but the service digests the whole source extent at dispatch and
+    /// re-checks the destination at completion, regardless of the
+    /// service-wide `VerifyPolicy`. Silent corruption on the copy path is
+    /// either repaired before the descriptor completes or surfaced as
+    /// [`CopyFault::Corrupted`] through csync.
+    pub async fn amemcpy_verified(
+        self: &Rc<Self>,
+        core: &Rc<Core>,
+        dst: VirtAddr,
+        src: VirtAddr,
+        len: usize,
+    ) -> SubmitResult {
+        self._amemcpy(
+            core,
+            dst,
+            src,
+            len,
+            AmemcpyOpts {
+                verified: true,
+                ..AmemcpyOpts::default()
+            },
+        )
+        .await
+    }
+
+    /// Registers a long-lived buffer pair with the service's background
+    /// scrubber: `primary` is guarded against silent bit-rot, `replica`
+    /// must hold the same bytes and is the heal source. Both live in this
+    /// process's address space.
+    pub fn register_scrub(&self, primary: VirtAddr, replica: VirtAddr, len: usize, chunk: usize) {
+        self.svc()
+            .register_scrub_region(&self.client, &self.uspace, primary, replica, len, chunk);
     }
 
     /// Nonblocking async memcpy: submits only if a credit and a ring slot
@@ -415,6 +469,10 @@ impl CopierHandle {
             .src_space
             .clone()
             .unwrap_or_else(|| Rc::clone(&self.uspace));
+        if opts.verified {
+            self.verified_submitted
+                .set(self.verified_submitted.get() + 1);
+        }
         let task = CopyTask {
             dst_space,
             dst,
@@ -425,6 +483,7 @@ impl CopierHandle {
             descr: Rc::clone(&descr),
             func: opts.func.clone(),
             lazy: opts.lazy,
+            verify: opts.verified,
         };
         (descr, task)
     }
@@ -594,6 +653,9 @@ impl CopierHandle {
         fd: usize,
     ) -> CsyncResult {
         if let Some(f) = descr.fault() {
+            if f == CopyFault::Corrupted {
+                self.corrupted_seen.set(self.corrupted_seen.get() + 1);
+            }
             return Err(f);
         }
         if descr.range_ready(off, len) {
@@ -633,6 +695,9 @@ impl CopierHandle {
         let spin_deadline = h.now() + Nanos::from_micros(2);
         loop {
             if let Some(f) = descr.fault() {
+                if f == CopyFault::Corrupted {
+                    self.corrupted_seen.set(self.corrupted_seen.get() + 1);
+                }
                 return Err(f);
             }
             if descr.range_ready(off, len) {
@@ -953,6 +1018,7 @@ impl KernelSection {
             descr: Rc::clone(&descr),
             func,
             lazy,
+            verify: false,
         };
         core.advance(self.lib.cost.task_submit).await;
         if self.lib.client.dead.get() {

@@ -422,6 +422,7 @@ mod tests {
                 descr: Rc::new(SegDescriptor::new(len, 1024)),
                 func: None,
                 lazy: false,
+                verify: false,
             },
             copied: RefCell::new(IntervalSet::new()),
             inflight: RefCell::new(IntervalSet::new()),

@@ -387,6 +387,7 @@ mod tests {
             descr: Rc::new(SegDescriptor::new(len, 1024)),
             func: None,
             lazy: false,
+            verify: false,
         }
     }
 

@@ -2,6 +2,7 @@
 
 use std::rc::Rc;
 
+use copier_hw::VerifyPolicy;
 use copier_sim::{FaultPlan, Nanos, Tracer};
 
 use crate::descriptor::DEFAULT_SEGMENT;
@@ -112,6 +113,29 @@ pub struct CopierConfig {
     /// journaled run is byte-identical to an unjournaled one. `None`
     /// disables journaling (and recovery).
     pub journal: Option<Rc<crate::journal::JournalStore>>,
+    /// End-to-end verification policy (§integrity). `Off` charges nothing
+    /// and detects nothing; `Sampled` digests head+tail of each dispatched
+    /// extent; `Full` digests every byte. Detection fires bounded repair,
+    /// then [`crate::CopyFault::Corrupted`]. Host-side only: no virtual
+    /// time is charged, so an uncorrupted run's virtual timeline is
+    /// byte-identical across policies.
+    pub verify: VerifyPolicy,
+    /// Maximum automatic re-copy attempts after a verification mismatch
+    /// before the task is poisoned `Corrupted`.
+    pub repair_limit: u32,
+    /// Verification failures attributed to a DMA channel before it is
+    /// quarantined like a hard death (0 disables corruption quarantine).
+    pub corrupt_quarantine_threshold: u32,
+    /// Page-sampling stride for journal admission digests
+    /// (`extent_digest_stride`): 0 keeps the legacy head+tail digest
+    /// (cheapest, blind to mid-extent damage), 1 folds every page (full
+    /// coverage, O(len)), k ≥ 2 folds head, tail, and every k-th page
+    /// (O(len/k), catches damage runs ≥ k pages). Torn-write detection at
+    /// recovery inherits this coverage/cost trade-off.
+    pub admit_digest_stride: usize,
+    /// Scrubber cadence: one registered chunk is re-digested every this
+    /// many scheduling rounds (0 disables the scrubber walk).
+    pub scrub_period: u64,
 }
 
 impl Default for CopierConfig {
@@ -141,6 +165,11 @@ impl Default for CopierConfig {
             admission: AdmissionConfig::default(),
             tracer: None,
             journal: None,
+            verify: VerifyPolicy::Off,
+            repair_limit: 2,
+            corrupt_quarantine_threshold: 2,
+            admit_digest_stride: 0,
+            scrub_period: 64,
         }
     }
 }

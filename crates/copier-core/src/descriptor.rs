@@ -30,6 +30,12 @@ pub enum CopyFault {
     /// side): the bytes are partial and must not be consumed. Healed by
     /// a later copy that fully overwrites the range.
     Torn,
+    /// End-to-end verification found the destination bytes differ from
+    /// the source digest taken at dispatch (silent DMA corruption that
+    /// the device reported as success), and bounded automatic repair
+    /// could not restore them — or the scrubber found a rotted region
+    /// with no intact replica. The bytes must not be consumed.
+    Corrupted,
 }
 
 /// Default segment granularity (bytes).

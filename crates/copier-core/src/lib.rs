@@ -34,6 +34,7 @@ pub use client::{
     Client, ClientId, OrderKey, PendEntry, QueuePair, QueueSet, TaintRange, DEFAULT_QUEUE_CAP,
 };
 pub use config::{AdmissionConfig, CopierConfig, PollMode};
+pub use copier_hw::VerifyPolicy;
 pub use descriptor::{CopyFault, SegDescriptor, DEFAULT_SEGMENT};
 pub use interval::IntervalSet;
 pub use journal::{AdmitRec, Journal, JournalStats, JournalStore, Recovered, TaintRec};

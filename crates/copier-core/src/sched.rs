@@ -166,6 +166,7 @@ mod tests {
             descr: Rc::new(SegDescriptor::new(64, 64)),
             func: None,
             lazy: false,
+            verify: false,
         };
         c.default_set().uq.copy.push(QueueEntry::Copy(t)).unwrap();
         c

@@ -32,7 +32,7 @@ use copier_sim::{Core, CrashPoint, Nanos, Notify, SimHandle};
 use crate::absorb::{self, AbsorbPlan};
 use crate::client::{Client, ClientId, PendEntry, QueueSet, TaintRange};
 use crate::config::{CopierConfig, PollMode};
-use crate::descriptor::CopyFault;
+use crate::descriptor::{CopyFault, SegDescriptor};
 use crate::interval::IntervalSet;
 use crate::journal::{AdmitRec, Journal, JournalStats, Recovered, TaintRec};
 use crate::sched::{vruntime_before, Scheduler};
@@ -124,6 +124,18 @@ pub struct CopierStats {
     /// Journaled tasks whose destination was found torn at recovery and
     /// poisoned [`CopyFault::Torn`].
     pub torn_poisoned: u64,
+    /// Tasks whose verification mismatch survived bounded repair and were
+    /// poisoned [`CopyFault::Corrupted`].
+    pub corrupted_poisoned: u64,
+    /// Scrub chunks re-digested by the background walker.
+    pub scrub_chunks: u64,
+    /// Rotted scrub chunks healed from an intact replica.
+    pub scrub_heals: u64,
+    /// Rotted scrub chunks with no intact replica (taint remembered).
+    pub scrub_unrepairable: u64,
+    /// DMA channels quarantined by corruption strikes (point-in-time,
+    /// disjoint from hard-death `quarantined_channels`).
+    pub corrupt_quarantined: u64,
 }
 
 struct Selected {
@@ -132,6 +144,29 @@ struct Selected {
     plan: AbsorbPlan,
     /// Per-round byte budget for this task (copy-slice partial execution).
     cap: usize,
+}
+
+/// A long-lived region registered for background integrity scrubbing
+/// (pinned I/O buffers, journaled state): the walker re-digests one chunk
+/// per `scrub_period` rounds against the golden digests taken at
+/// registration and heals rot from the replica.
+struct ScrubRegion {
+    client: ClientId,
+    space: Rc<AddressSpace>,
+    /// The guarded range.
+    primary: VirtAddr,
+    /// Known-good copy of the same bytes; heal tasks source from it.
+    replica: VirtAddr,
+    len: usize,
+    chunk: usize,
+    /// Full-coverage (stride-1) digest per chunk, taken at registration.
+    golden: Vec<u64>,
+    /// Chunk found rotted with no intact replica: taint remembered once,
+    /// chunk retired from the walk.
+    dead: Vec<Cell<bool>>,
+    /// A heal copy for this chunk is queued or in flight; the walker
+    /// skips it until the task settles (the handler clears the flag).
+    healing: Vec<Rc<Cell<bool>>>,
 }
 
 /// The asynchronous-copy OS service.
@@ -173,6 +208,14 @@ pub struct Copier {
     /// What journal replay reconstructed at construction; consumed by
     /// [`Copier::adopt_client`] for digest reconciliation.
     recovered: RefCell<Option<Recovered>>,
+    /// Regions under background scrub (§integrity).
+    scrub: RefCell<Vec<ScrubRegion>>,
+    /// Scrub cadence counter. Deliberately not `round_no`: that one only
+    /// advances when tracing is on, and the walker must pace identically
+    /// either way.
+    scrub_tick: Cell<u64>,
+    /// Walk resume position (chunk index across all regions).
+    scrub_pos: Cell<usize>,
 }
 
 impl Copier {
@@ -186,15 +229,18 @@ impl Copier {
     ) -> Rc<Self> {
         assert!(!cores.is_empty(), "Copier needs at least one core");
         let dma = cfg.use_dma.then(|| {
-            DmaEngine::with_channels(
+            let d = DmaEngine::with_channels(
                 h,
                 Rc::clone(&pm),
                 Rc::clone(&cost),
                 cfg.dma_channels.max(1),
                 cfg.fault_plan.clone(),
-            )
+            );
+            d.set_corruption_threshold(cfg.corrupt_quarantine_threshold);
+            d
         });
         let dispatcher = Rc::new(Dispatcher::new(Rc::clone(&pm), Rc::clone(&cost), dma));
+        dispatcher.set_verify(cfg.verify, cfg.repair_limit);
         let atcache = Rc::new(ATCache::new(cfg.atcache_capacity.max(1)));
         atcache.set_enabled(cfg.atcache_capacity > 0);
         let threads = if cfg.auto_scale { 1 } else { cores.len() };
@@ -246,6 +292,9 @@ impl Copier {
             epoch: Cell::new(epoch),
             journal,
             recovered: RefCell::new(recovered),
+            scrub: RefCell::new(Vec::new()),
+            scrub_tick: Cell::new(0),
+            scrub_pos: Cell::new(0),
         })
     }
 
@@ -279,6 +328,7 @@ impl Copier {
         let mut s = *self.stats.borrow();
         s.quarantined_channels = self.dispatcher.dma().map_or(0, |d| d.quarantined() as u64);
         s.pressure_events = self.pm.pressure_events();
+        s.corrupt_quarantined = self.dispatcher.dma().map_or(0, |d| d.corrupt_quarantined());
         s
     }
 
@@ -368,6 +418,13 @@ impl Copier {
             s.recovered_finalized,
             s.dropped_unjournaled,
             s.torn_poisoned,
+            s.dispatch.corruptions,
+            s.dispatch.repairs,
+            s.corrupted_poisoned,
+            s.scrub_chunks,
+            s.scrub_heals,
+            s.scrub_unrepairable,
+            s.corrupt_quarantined,
         ]
     }
 
@@ -659,6 +716,25 @@ impl Copier {
     ) -> bool {
         self.assigned_into(idx, &mut scratch.clients);
         let clients = &scratch.clients;
+        // 0. Background integrity (§integrity): one oracle rot draw per
+        // round (zero PRNG draws unless `rot_prob` is enabled, so
+        // rot-free runs are byte-identical), then the scrub walker. Both
+        // are host-side — no virtual time is charged; heal copies enter
+        // the ordinary queues and pace like any other submission.
+        if idx == 0 {
+            if let Some(plan) = &self.cfg.fault_plan {
+                if let Some(p) = plan.decide_rot() {
+                    self.inject_rot(p);
+                }
+            }
+            if self.cfg.scrub_period > 0 && !self.scrub.borrow().is_empty() {
+                let t = self.scrub_tick.get() + 1;
+                self.scrub_tick.set(t);
+                if t.is_multiple_of(self.cfg.scrub_period) {
+                    self.scrub_walk();
+                }
+            }
+        }
         // 1. Drain queues into windows.
         let mut drained = self.drain_assigned(clients);
         if drained > 0 {
@@ -942,9 +1018,14 @@ impl Copier {
         // Journal the admission before it becomes visible to scheduling:
         // the pre-copy extent digests of both ranges are what recovery
         // reconciles a journaled-but-vanished task against. Sampling is
-        // host-side only — no virtual time, no PRNG draw.
+        // host-side only — no virtual time, no PRNG draw. The stride
+        // (`admit_digest_stride`) sets the coverage/cost point: 0 = legacy
+        // head+tail (blind to mid-extent damage), 1 = every page, k =
+        // every k-th page — torn-write detection at recovery can only see
+        // what these digests sampled.
         if let Some(j) = &self.journal {
             let t = &entry.task;
+            let stride = self.cfg.admit_digest_stride;
             j.record_admit(AdmitRec {
                 tid,
                 client: client.id,
@@ -956,8 +1037,8 @@ impl Copier {
                 src: t.src.0,
                 len: t.len as u64,
                 seg: t.seg as u64,
-                dst_digest: t.dst_space.extent_digest(t.dst, t.len),
-                src_digest: t.src_space.extent_digest(t.src, t.len),
+                dst_digest: t.dst_space.extent_digest_stride(t.dst, t.len, stride),
+                src_digest: t.src_space.extent_digest_stride(t.src, t.len, stride),
             });
         }
         set.index.insert(&entry);
@@ -1309,6 +1390,33 @@ impl Copier {
                 st.dispatch.dma_wait += report.dma_wait;
                 st.dispatch.retries += report.retries;
                 st.dispatch.fallback_bytes += report.fallback_bytes;
+                st.dispatch.corruptions += report.corruptions;
+                st.dispatch.repairs += report.repairs;
+            }
+            // Verification failures that exhausted bounded repair: the
+            // destination bytes are wrong even though every segment was
+            // marked, so the descriptor is poisoned `Corrupted` and the
+            // taint cascades exactly like a mid-copy fault — nothing
+            // downstream may consume the range.
+            for tid in self.dispatcher.take_corrupted() {
+                let Some(s) = sel.iter().find(|s| s.entry.tid == tid) else {
+                    continue;
+                };
+                let e = &s.entry;
+                if e.failed.get().is_some() {
+                    continue;
+                }
+                let fault = CopyFault::Corrupted;
+                e.failed.set(Some(fault));
+                e.task.descr.poison(fault);
+                client.signals.borrow_mut().push(fault);
+                {
+                    let mut st = self.stats.borrow_mut();
+                    st.faults += 1;
+                    st.corrupted_poisoned += 1;
+                }
+                self.finalize(client, &s.set, e);
+                self.cascade_fault(&s.set, client, e, fault);
             }
             self.sched.charge(client, planned_bytes);
         }
@@ -1484,6 +1592,7 @@ impl Copier {
             task_id: e.tid,
             len: t.len,
             subtasks,
+            verify: t.verify,
         })
     }
 
@@ -1736,11 +1845,183 @@ impl Copier {
         client.pinned.set(0);
         client.credits.set(client.credit_cap.get());
         self.clients.borrow_mut().retain(|c| !Rc::ptr_eq(c, client));
+        // The dead client's scrub registrations go with it: any queued
+        // heal task was just reaped above (poisoned `Aborted`, pins
+        // released through finalize), and the walker must not keep
+        // digesting — or re-healing — memory nobody owns anymore.
+        self.scrub.borrow_mut().retain(|r| r.client != client.id);
         self.stats.borrow_mut().orphans_reclaimed += reclaimed;
         // The reaped client's Complete records become durable right away
         // so a crash after the reap never resurrects its tasks.
         self.journal_flush();
         reclaimed
+    }
+
+    /// Registers a long-lived region for background scrubbing
+    /// (§integrity). `primary` is the guarded range; `replica` holds the
+    /// same bytes and is what heal copies source from when the walker
+    /// finds rot. Golden per-chunk digests are taken now, full-coverage
+    /// (stride 1) — the whole point of the scrubber is catching damage
+    /// anywhere in the extent. Digesting is host-side only.
+    pub fn register_scrub_region(
+        &self,
+        client: &Rc<Client>,
+        space: &Rc<AddressSpace>,
+        primary: VirtAddr,
+        replica: VirtAddr,
+        len: usize,
+        chunk: usize,
+    ) {
+        let chunk = chunk.max(1).min(len.max(1));
+        let n = len.div_ceil(chunk).max(1);
+        let mut golden = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = i * chunk;
+            let clen = chunk.min(len - off);
+            golden.push(space.extent_digest_stride(primary.add(off), clen, 1));
+        }
+        self.scrub.borrow_mut().push(ScrubRegion {
+            client: client.id,
+            space: Rc::clone(space),
+            primary,
+            replica,
+            len,
+            chunk,
+            golden,
+            dead: (0..n).map(|_| Cell::new(false)).collect(),
+            healing: (0..n).map(|_| Rc::new(Cell::new(false))).collect(),
+        });
+    }
+
+    /// Applies one oracle-drawn bit-rot event: `pos` selects a bit
+    /// uniformly across all registered primaries. The draw was already
+    /// consumed (and traced) by the oracle, so the event lands — or
+    /// no-ops, when nothing is registered or the page is unmapped —
+    /// without touching determinism.
+    fn inject_rot(&self, pos: u64) {
+        let regions = self.scrub.borrow();
+        let total_bits: u64 = regions.iter().map(|r| r.len as u64 * 8).sum();
+        if total_bits == 0 {
+            return;
+        }
+        let mut bit = pos % total_bits;
+        for r in regions.iter() {
+            let rbits = r.len as u64 * 8;
+            if bit >= rbits {
+                bit -= rbits;
+                continue;
+            }
+            let va = r.primary.add((bit / 8) as usize);
+            // Pure translate: rot strikes resident frames; an unmapped
+            // page has no bytes to rot. No fault work, no virtual time.
+            if let Some(pte) = r.space.translate(va) {
+                let pm = r.space.phys();
+                let mut b = [0u8];
+                pm.read(pte.frame, va.page_off(), &mut b);
+                b[0] ^= 1 << (bit % 8);
+                pm.write(pte.frame, va.page_off(), &b);
+            }
+            return;
+        }
+    }
+
+    /// One scrubber step: re-digests the next live chunk and, on
+    /// mismatch, queues a heal copy from the replica through the
+    /// ordinary k-queue — the heal is an absorbable, admission-controlled,
+    /// shed-able copy task like any other, not a privileged side channel.
+    /// A rotted chunk whose replica is also damaged is unrepairable: its
+    /// range is remembered as `Corrupted` taint and retired.
+    fn scrub_walk(self: &Rc<Self>) {
+        let regions = self.scrub.borrow();
+        let total: usize = regions.iter().map(|r| r.golden.len()).sum();
+        if total == 0 {
+            return;
+        }
+        let mut pos = self.scrub_pos.get() % total;
+        for _ in 0..total {
+            let (ri, ci) = {
+                let mut p = pos;
+                let mut found = (0, 0);
+                for (i, r) in regions.iter().enumerate() {
+                    if p < r.golden.len() {
+                        found = (i, p);
+                        break;
+                    }
+                    p -= r.golden.len();
+                }
+                found
+            };
+            pos = (pos + 1) % total;
+            let r = &regions[ri];
+            if r.dead[ci].get() || r.healing[ci].get() {
+                continue;
+            }
+            self.scrub_pos.set(pos);
+            let off = ci * r.chunk;
+            let clen = r.chunk.min(r.len - off);
+            self.stats.borrow_mut().scrub_chunks += 1;
+            if r.space.extent_digest_stride(r.primary.add(off), clen, 1) == r.golden[ci] {
+                return;
+            }
+            // Rot found. Heal from the replica if it is still intact.
+            let client = {
+                let cs = self.clients.borrow();
+                cs.iter().find(|c| c.id == r.client).cloned()
+            };
+            let Some(client) = client else {
+                return;
+            };
+            let Some(set) = client.set_at(0) else {
+                return;
+            };
+            if r.space.extent_digest_stride(r.replica.add(off), clen, 1) != r.golden[ci] {
+                self.stats.borrow_mut().scrub_unrepairable += 1;
+                r.dead[ci].set(true);
+                let lo = r.primary.add(off).0;
+                self.remember_taint(
+                    &client,
+                    &set,
+                    r.space.id(),
+                    lo,
+                    lo + clen as u64,
+                    CopyFault::Corrupted,
+                );
+                return;
+            }
+            let descr = Rc::new(SegDescriptor::new(clen, self.cfg.segment));
+            r.healing[ci].set(true);
+            let healing = Rc::clone(&r.healing[ci]);
+            let me = Rc::downgrade(self);
+            let d2 = Rc::clone(&descr);
+            let func = Handler::KFunc(Rc::new(move || {
+                healing.set(false);
+                if d2.fault().is_none() {
+                    if let Some(svc) = me.upgrade() {
+                        svc.stats.borrow_mut().scrub_heals += 1;
+                    }
+                }
+            }));
+            let task = CopyTask {
+                dst_space: Rc::clone(&r.space),
+                dst: r.primary.add(off),
+                src_space: Rc::clone(&r.space),
+                src: r.replica.add(off),
+                len: clen,
+                seg: self.cfg.segment,
+                descr,
+                func: Some(func),
+                lazy: false,
+                // Heal copies are themselves fully verified end to end: a
+                // corrupt heal must not silently re-poison the region.
+                verify: true,
+            };
+            if set.kq.copy.push(QueueEntry::Copy(task)).is_err() {
+                // Ring full: the heal is shed-able by design; the chunk
+                // stays live and the walker retries next period.
+                r.healing[ci].set(false);
+            }
+            return;
+        }
     }
 
     /// Re-attaches a client that survived a service crash — the recovery
@@ -1861,7 +2142,13 @@ impl Copier {
                 }
                 continue;
             }
-            let cur = client.uspace.extent_digest(VirtAddr(a.dst), a.len as usize);
+            // Arbitration digest must sample the same lattice the admit
+            // record did, or equal bytes would compare unequal.
+            let cur = client.uspace.extent_digest_stride(
+                VirtAddr(a.dst),
+                a.len as usize,
+                self.cfg.admit_digest_stride,
+            );
             if cur == a.src_digest || cur == a.dst_digest {
                 // Fully copied (Complete record lost) or never started:
                 // either way the range is consistent; release it.
@@ -1991,6 +2278,7 @@ fn copy_fault_code(f: CopyFault) -> u8 {
         CopyFault::Aborted => 3,
         CopyFault::Overloaded => 4,
         CopyFault::Torn => 5,
+        CopyFault::Corrupted => 6,
     }
 }
 
@@ -2002,6 +2290,7 @@ fn copy_fault_from_code(code: u8) -> CopyFault {
         2 => CopyFault::OutOfMemory,
         3 => CopyFault::Aborted,
         4 => CopyFault::Overloaded,
+        6 => CopyFault::Corrupted,
         _ => CopyFault::Torn,
     }
 }
@@ -2029,6 +2318,8 @@ fn stats_from_vec(v: &[u64]) -> CopierStats {
             dma_wait: Nanos(g(13)),
             retries: g(14),
             fallback_bytes: g(15) as usize,
+            corruptions: g(37),
+            repairs: g(38),
         },
         proactive_faults: g(16),
         retries: g(17),
@@ -2051,5 +2342,10 @@ fn stats_from_vec(v: &[u64]) -> CopierStats {
         recovered_finalized: g(34),
         dropped_unjournaled: g(35),
         torn_poisoned: g(36),
+        corrupted_poisoned: g(39),
+        scrub_chunks: g(40),
+        scrub_heals: g(41),
+        scrub_unrepairable: g(42),
+        corrupt_quarantined: g(43),
     }
 }

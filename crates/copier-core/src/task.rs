@@ -61,6 +61,10 @@ pub struct CopyTask {
     /// Lazy task (§4.4): lowest priority, usually absorbed, executed only
     /// when depended upon or after the lazy period.
     pub lazy: bool,
+    /// Per-task full-verification override (§integrity): forces
+    /// `VerifyPolicy::Full` for this task regardless of the service-wide
+    /// policy. Set by `amemcpy_verified`.
+    pub verify: bool,
 }
 
 impl std::fmt::Debug for CopyTask {

@@ -156,6 +156,7 @@ fn build(specs: &[TaskSpec]) -> Vec<Rc<PendEntry>> {
                     descr: Rc::new(SegDescriptor::new(len, 1024)),
                     func: None,
                     lazy: false,
+                    verify: false,
                 },
                 copied: RefCell::new(IntervalSet::new()),
                 inflight: RefCell::new(IntervalSet::new()),

@@ -15,15 +15,37 @@
 //! Progress callbacks fire per subtask the moment its bytes land (from the
 //! device task for DMA subtasks), driving fine-grained descriptor updates.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use copier_mem::PhysMem;
+use copier_mem::{Extent, PhysMem};
 use copier_sim::{Core, Nanos};
 
 use crate::cost::{CostModel, CpuCopyKind};
 use crate::dma::{DmaEngine, DmaError};
-use crate::units::{CpuUnit, SubTask};
+use crate::units::{copy_extent_pair, CpuUnit, SubTask};
+
+/// How much of each DMA transfer the dispatcher digest-verifies.
+///
+/// Verification brackets a transfer with FNV digests: the *source* is
+/// digested at submission, the *destination* at completion; a mismatch
+/// means the device landed wrong bytes while reporting success (silent
+/// corruption). CPU subtasks are exact by construction and are never
+/// verified. Digesting is host-side work — it charges no virtual time,
+/// so `Off` and `Full` runs are byte-identical in virtual time when no
+/// corruption fires (the ≤5% bar in `fig_integrity` is host overhead).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum VerifyPolicy {
+    /// Trust completion status (the pre-integrity behavior).
+    #[default]
+    Off,
+    /// Digest the first and last 64 bytes of each transfer: `O(1)` per
+    /// descriptor, catches misdirected writes and edge damage but is
+    /// blind to interior bit flips.
+    Sampled,
+    /// Digest every byte of each transfer: detects any corruption.
+    Full,
+}
 
 /// A copy ready for hardware: already split into subtasks.
 #[derive(Debug, Clone)]
@@ -34,6 +56,9 @@ pub struct PlannedCopy {
     pub len: usize,
     /// Subtasks in task order (offsets strictly increasing).
     pub subtasks: Vec<SubTask>,
+    /// Force full verification for this task regardless of the
+    /// dispatcher-wide [`VerifyPolicy`] (`amemcpy_verified`).
+    pub verify: bool,
 }
 
 /// What the dispatcher did for one batch.
@@ -52,6 +77,13 @@ pub struct DispatchReport {
     /// Bytes rescued by the CPU after DMA gave up (counted in `cpu_bytes`
     /// too; subtracted from `dma_bytes`).
     pub fallback_bytes: usize,
+    /// Digest mismatches caught by verification (silent corruptions
+    /// detected).
+    pub corruptions: u64,
+    /// Detected corruptions healed by a bounded re-copy from a
+    /// still-valid source. `corruptions - repairs` tasks surface through
+    /// [`Dispatcher::take_corrupted`].
+    pub repairs: u64,
 }
 
 /// Progress notification: `(task_id, offset_within_task, len)`.
@@ -78,6 +110,52 @@ pub struct Dispatcher {
     cpu: CpuUnit,
     dma: Option<Rc<DmaEngine>>,
     scratch: RefCell<Scratch>,
+    verify: Cell<VerifyPolicy>,
+    /// Re-copy attempts per detected corruption before giving the task
+    /// up as [`Dispatcher::take_corrupted`].
+    repair_limit: Cell<u32>,
+    /// Task ids whose corruption survived the repair budget this batch,
+    /// drained by the service after `execute_batch`.
+    corrupted: RefCell<Vec<u64>>,
+}
+
+/// FNV digest of a physical extent — full-extent when `full`, else the
+/// first and last 64 bytes. Only comparable against digests from this
+/// same function at the same coverage.
+fn extent_phys_digest(pm: &PhysMem, ext: Extent, full: bool) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (ext.len as u64);
+    h = h.wrapping_mul(PRIME);
+    let mut fold = |chunk: &[u8]| {
+        let mut words = chunk.chunks_exact(8);
+        for w in words.by_ref() {
+            h = (h ^ u64::from_le_bytes(w.try_into().unwrap())).wrapping_mul(PRIME);
+        }
+        for &b in words.remainder() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    };
+    let mut buf = [0u8; 4096];
+    if full {
+        let mut done = 0usize;
+        while done < ext.len {
+            let take = (ext.len - done).min(buf.len());
+            pm.read_run(ext.frame, ext.off + done, &mut buf[..take]);
+            fold(&buf[..take]);
+            done += take;
+        }
+    } else {
+        let head = ext.len.min(64);
+        pm.read_run(ext.frame, ext.off, &mut buf[..head]);
+        fold(&buf[..head]);
+        if ext.len > 64 {
+            let tail = (ext.len - 64).max(head);
+            let n = ext.len - tail;
+            pm.read_run(ext.frame, ext.off + tail, &mut buf[..n]);
+            fold(&buf[..n]);
+        }
+    }
+    h
 }
 
 impl Dispatcher {
@@ -91,7 +169,29 @@ impl Dispatcher {
             cpu,
             dma,
             scratch: RefCell::new(Scratch::default()),
+            verify: Cell::new(VerifyPolicy::Off),
+            repair_limit: Cell::new(2),
+            corrupted: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Sets the dispatcher-wide verification policy and the per-detection
+    /// repair budget.
+    pub fn set_verify(&self, policy: VerifyPolicy, repair_limit: u32) {
+        self.verify.set(policy);
+        self.repair_limit.set(repair_limit);
+    }
+
+    /// The dispatcher-wide verification policy.
+    pub fn verify_policy(&self) -> VerifyPolicy {
+        self.verify.get()
+    }
+
+    /// Drains the task ids whose detected corruption could not be
+    /// repaired in the last `execute_batch` (the service poisons them as
+    /// `CopyFault::Corrupted`).
+    pub fn take_corrupted(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.corrupted.borrow_mut())
     }
 
     /// Whether a DMA engine is attached.
@@ -150,6 +250,7 @@ impl Dispatcher {
                 task_id: t.task_id,
                 len: t.len,
                 subtasks,
+                verify: t.verify,
             });
         }
     }
@@ -235,10 +336,18 @@ impl Dispatcher {
         let mut completions = Vec::new();
 
         // Phase 1: submit all DMA descriptors (batched, paying CPU per
-        // descriptor), so the device streams while AVX runs.
+        // descriptor), so the device streams while AVX runs. Under a
+        // verification policy the source of each transfer is digested
+        // *before* submission (host-side; no virtual time charged) —
+        // the reference the destination is checked against in phase 3.
         if let Some(dma) = &self.dma {
             let mut first = true;
             for (ti, task) in batch.iter().enumerate() {
+                let policy = if task.verify {
+                    VerifyPolicy::Full
+                } else {
+                    self.verify.get()
+                };
                 for (si, st) in task.subtasks.iter().enumerate() {
                     if assign[ti][si] {
                         // First descriptor pays the doorbell; the rest
@@ -250,6 +359,15 @@ impl Dispatcher {
                         })
                         .await;
                         first = false;
+                        let expect = match policy {
+                            VerifyPolicy::Off => None,
+                            VerifyPolicy::Sampled => {
+                                Some((extent_phys_digest(&self.pm, st.src, false), false))
+                            }
+                            VerifyPolicy::Full => {
+                                Some((extent_phys_digest(&self.pm, st.src, true), true))
+                            }
+                        };
                         let p = Rc::clone(&progress);
                         let task_id = task.task_id;
                         let c = dma.submit(
@@ -258,7 +376,7 @@ impl Dispatcher {
                                 p(task_id, s.task_off, s.len());
                             })),
                         );
-                        completions.push((c, task_id));
+                        completions.push((c, task_id, expect));
                         report.dma_descriptors += 1;
                         report.dma_bytes += st.len();
                     }
@@ -291,7 +409,7 @@ impl Dispatcher {
         // the fallback copy otherwise (failed/cancelled descriptors never
         // fire `on_done`).
         if let Some(dma) = &self.dma {
-            for (mut c, task_id) in completions {
+            for (mut c, task_id, expect) in completions {
                 let mut attempts = 0u32;
                 loop {
                     core.advance(self.cost.dma_complete_check).await;
@@ -319,6 +437,19 @@ impl Dispatcher {
                     }
                     report.dma_wait += core_now(core) - t0;
                     if c.is_done() {
+                        // The device believes this transfer succeeded; the
+                        // digest is the only thing that can contradict it.
+                        if let Some((want, full)) = expect {
+                            if extent_phys_digest(&self.pm, c.subtask.dst, full) != want {
+                                report.corruptions += 1;
+                                dma.note_corruption(c.channel);
+                                if self.repair(core, dma, &c.subtask, want, full).await {
+                                    report.repairs += 1;
+                                } else {
+                                    self.corrupted.borrow_mut().push(task_id);
+                                }
+                            }
+                        }
                         break;
                     }
                     let err = c.error().unwrap_or(DmaError::Timeout);
@@ -368,6 +499,54 @@ impl Dispatcher {
         *self.scratch.borrow_mut() = scr;
         report
     }
+
+    /// Bounded re-copy of a subtask whose destination failed digest
+    /// verification. Each attempt first confirms the *source* still
+    /// digests to the pre-dispatch value (repairing from a since-mutated
+    /// source would heal to garbage), then re-copies — on a healthy DMA
+    /// channel when one survives, inline on the CPU otherwise — and
+    /// re-verifies. Progress already fired for the original
+    /// believed-successful transfer, so the re-copy carries no progress
+    /// callback and segment accounting stays exact.
+    async fn repair(
+        &self,
+        core: &Rc<Core>,
+        dma: &Rc<DmaEngine>,
+        st: &SubTask,
+        want: u64,
+        full: bool,
+    ) -> bool {
+        for _ in 0..self.repair_limit.get() {
+            if extent_phys_digest(&self.pm, st.src, full) != want {
+                return false;
+            }
+            if dma.live_channels() > 0 {
+                core.advance(self.cost.dma_submit).await;
+                let c = dma.submit(*st, None);
+                c.wait().await;
+                if c.is_done() {
+                    // A corrupted *repair* is a verified strike too — a
+                    // channel that damages retries gets retired faster.
+                    if extent_phys_digest(&self.pm, st.dst, full) != want {
+                        dma.note_corruption(c.channel);
+                    }
+                } else {
+                    // The re-copy failed outright: rescue on the CPU.
+                    core.advance(self.cpu.cost_of(st.len())).await;
+                    copy_extent_pair(&self.pm, st.dst, st.src);
+                    core.cache.note_inline_copy(st.len());
+                }
+            } else {
+                core.advance(self.cpu.cost_of(st.len())).await;
+                copy_extent_pair(&self.pm, st.dst, st.src);
+                core.cache.note_inline_copy(st.len());
+            }
+            if extent_phys_digest(&self.pm, st.dst, full) == want {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 // Small helper: a core doesn't expose its sim handle, so thread time via
@@ -413,6 +592,7 @@ mod tests {
             task_id,
             len,
             subtasks: vec![st],
+            verify: false,
         }
     }
 
@@ -546,6 +726,72 @@ mod tests {
             pm.read(FrameId(expect_dst.0 + p), 0, &mut dd);
             assert_eq!(s, dd, "page {p}");
         }
+    }
+
+    fn run_with_flips(policy: VerifyPolicy) -> (DispatchReport, Vec<u64>, bool, u64) {
+        // Every DMA transfer is bit-flipped in flight; returns the
+        // report, the unrepaired task ids, whether dst == src at the
+        // end, and the corrupt-quarantined channel count.
+        let pm = Rc::new(PhysMem::new(256, AllocPolicy::Sequential));
+        let cost = Rc::new(CostModel::default());
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let m = Machine::new(&h, 1);
+        let plan = copier_sim::FaultPlan::new(copier_sim::FaultConfig {
+            seed: 17,
+            dma_flip_prob: 1.0,
+            ..Default::default()
+        });
+        let dma = DmaEngine::with_channels(&h, Rc::clone(&pm), Rc::clone(&cost), 1, Some(plan));
+        let eng = Rc::clone(&dma);
+        let d = Rc::new(Dispatcher::new(Rc::clone(&pm), cost, Some(dma)));
+        d.set_verify(policy, 2);
+        let task = split_pages(planned(&pm, 3, 16));
+        let (src0, dst0) = (task.subtasks[0].src.frame, task.subtasks[0].dst.frame);
+        let core = m.core(0);
+        let d2 = Rc::clone(&d);
+        let task2 = task.clone();
+        let report = Rc::new(RefCell::new(DispatchReport::default()));
+        let report2 = Rc::clone(&report);
+        sim.spawn("copier", async move {
+            let cb: ProgressFn = Rc::new(|_, _, _| {});
+            *report2.borrow_mut() = d2.execute_batch(&core, &[task2], cb).await;
+        });
+        sim.run();
+        let mut intact = true;
+        for p in 0..16u32 {
+            let mut s = vec![0u8; PAGE_SIZE];
+            let mut dd = vec![0u8; PAGE_SIZE];
+            pm.read(FrameId(src0.0 + p), 0, &mut s);
+            pm.read(FrameId(dst0.0 + p), 0, &mut dd);
+            if s != dd {
+                intact = false;
+            }
+        }
+        let r = *report.borrow();
+        (r, d.take_corrupted(), intact, eng.corrupt_quarantined())
+    }
+
+    #[test]
+    fn verify_off_lets_silent_corruption_through() {
+        let (r, unrepaired, intact, _) = run_with_flips(VerifyPolicy::Off);
+        assert!(r.dma_bytes > 0, "DMA must have engaged");
+        assert_eq!(r.corruptions, 0, "nothing looked, nothing found");
+        assert!(unrepaired.is_empty());
+        assert!(!intact, "the corruption landed and nobody noticed");
+    }
+
+    #[test]
+    fn full_verify_detects_strikes_channel_and_repairs() {
+        let (r, unrepaired, intact, corrupt_quarantined) = run_with_flips(VerifyPolicy::Full);
+        assert!(r.corruptions > 0, "every DMA transfer was flipped");
+        assert_eq!(r.repairs, r.corruptions, "all repairable: source intact");
+        assert!(unrepaired.is_empty());
+        assert!(intact, "repair healed every flipped transfer");
+        assert_eq!(
+            corrupt_quarantined, 1,
+            "the flaky channel was retired by verified strikes"
+        );
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //! bytes and never fires its `on_done` callback, so progress accounting
 //! stays exact across recovery.
 //!
+//! Silent corruption is the one failure class completion status cannot
+//! see: a transfer hit by a seeded [`SilentCorruption`] draw lands
+//! *wrong* bytes (one bit flipped in flight, or the payload rotated to a
+//! wrong destination offset) and still reports `Done` and fires
+//! `on_done`. Detection is the dispatcher's job (digest verification);
+//! when it catches a mismatch it calls [`DmaEngine::note_corruption`] so
+//! a channel that repeatedly corrupts is quarantined like one that died.
+//!
 //! Constraints mirrored from real hardware: each descriptor's source and
 //! destination must be physically contiguous ranges.
 
@@ -23,7 +31,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use copier_mem::PhysMem;
-use copier_sim::{Chan, DmaFault, FaultPlan, Nanos, Notify, SimHandle};
+use copier_sim::{Chan, DmaFault, FaultPlan, Nanos, Notify, SilentCorruption, SimHandle};
 
 use crate::cost::CostModel;
 use crate::units::{copy_extent_pair, SubTask};
@@ -121,11 +129,19 @@ pub struct DmaStats {
     /// Descriptors that failed (any [`DmaError`]) or were discarded after
     /// cancellation.
     pub failed: u64,
+    /// Descriptors whose landed bytes were silently damaged by an
+    /// injected corruption draw (the transfer still reported `Done`).
+    /// Only draws that actually changed bytes count — a misdirect that
+    /// rotates a uniform payload onto itself is a physical no-op.
+    pub corrupted: u64,
 }
 
 struct Channel {
     queue: Chan<Descriptor>,
     dead: Cell<bool>,
+    /// Verified-corruption strikes recorded against this channel by
+    /// [`DmaEngine::note_corruption`].
+    corrupt_hits: Cell<u32>,
 }
 
 /// The simulated DMA engine.
@@ -136,6 +152,47 @@ pub struct DmaEngine {
     next: Cell<usize>,
     plan: Option<Rc<FaultPlan>>,
     stats: Rc<Cell<DmaStats>>,
+    /// Verified-corruption strikes after which a channel is quarantined
+    /// (0 disables corruption-driven quarantine).
+    corrupt_threshold: Cell<u32>,
+    /// Channels quarantined by corruption strikes (disjoint from hard
+    /// deaths, which flip `Channel::dead` directly).
+    corrupt_quarantined: Cell<u64>,
+}
+
+/// Applies one silent-corruption decision to the *landed* destination
+/// bytes. Returns whether any byte actually changed (a misdirect can
+/// rotate a uniform payload onto itself).
+fn apply_corruption(pm: &PhysMem, st: &SubTask, c: SilentCorruption) -> bool {
+    let len = st.len();
+    if len == 0 {
+        return false;
+    }
+    match c {
+        SilentCorruption::BitFlip { pos } => {
+            let bit = (pos % (len as u64 * 8)) as usize;
+            let mut byte = [0u8];
+            pm.read_run(st.dst.frame, st.dst.off + bit / 8, &mut byte);
+            byte[0] ^= 1 << (bit % 8);
+            pm.write_run(st.dst.frame, st.dst.off + bit / 8, &byte);
+            true
+        }
+        SilentCorruption::Misdirect { shift } => {
+            if len < 2 {
+                return false;
+            }
+            let s = 1 + (shift % (len as u64 - 1)) as usize;
+            let mut buf = vec![0u8; len];
+            pm.read_run(st.dst.frame, st.dst.off, &mut buf);
+            let before = buf.clone();
+            buf.rotate_right(s);
+            if buf == before {
+                return false;
+            }
+            pm.write_run(st.dst.frame, st.dst.off, &buf);
+            true
+        }
+    }
 }
 
 fn fail(d: &Descriptor, err: DmaError, stats: &Cell<DmaStats>) {
@@ -168,6 +225,7 @@ impl DmaEngine {
                 Rc::new(Channel {
                     queue: Chan::new(),
                     dead: Cell::new(false),
+                    corrupt_hits: Cell::new(0),
                 })
             })
             .collect();
@@ -225,6 +283,14 @@ impl DmaEngine {
                         continue;
                     }
                     copy_extent_pair(&pm2, d.st.dst, d.st.src);
+                    // Silent corruption: consulted once per transfer that
+                    // lands bytes, *after* the copy — the damage hits the
+                    // landed destination, and the descriptor still reports
+                    // Done and fires on_done below.
+                    let damaged = plan2
+                        .as_ref()
+                        .and_then(|p| p.decide_corrupt())
+                        .is_some_and(|c| apply_corruption(&pm2, &d.st, c));
                     d.completion.state.set(State::Done);
                     d.completion.notify.notify_all();
                     if let Some(cb) = &d.on_done {
@@ -234,6 +300,7 @@ impl DmaEngine {
                     s.transfers += 1;
                     s.bytes += d.st.len() as u64;
                     s.busy += dur;
+                    s.corrupted += damaged as u64;
                     stats2.set(s);
                 }
             });
@@ -245,6 +312,8 @@ impl DmaEngine {
             next: Cell::new(0),
             plan,
             stats,
+            corrupt_threshold: Cell::new(2),
+            corrupt_quarantined: Cell::new(0),
         })
     }
 
@@ -307,6 +376,39 @@ impl DmaEngine {
     /// Whether a fault plan is attached (failures are possible).
     pub fn has_fault_plan(&self) -> bool {
         self.plan.is_some()
+    }
+
+    /// Sets the verified-corruption strike count after which a channel
+    /// is quarantined (0 disables corruption-driven quarantine).
+    pub fn set_corruption_threshold(&self, strikes: u32) {
+        self.corrupt_threshold.set(strikes);
+    }
+
+    /// Records one *verified* corruption against `channel` — called by
+    /// the dispatcher when digest verification catches a transfer that
+    /// reported success with wrong bytes. At the configured threshold
+    /// the channel is quarantined exactly like a hard death (every
+    /// later descriptor fails [`DmaError::ChannelDead`]). Returns
+    /// whether this strike retired the channel.
+    pub fn note_corruption(&self, channel: usize) -> bool {
+        let Some(ch) = self.channels.get(channel) else {
+            return false;
+        };
+        let hits = ch.corrupt_hits.get() + 1;
+        ch.corrupt_hits.set(hits);
+        let threshold = self.corrupt_threshold.get();
+        if threshold > 0 && hits >= threshold && !ch.dead.get() {
+            ch.dead.set(true);
+            self.corrupt_quarantined
+                .set(self.corrupt_quarantined.get() + 1);
+            return true;
+        }
+        false
+    }
+
+    /// Channels quarantined because of verified-corruption strikes.
+    pub fn corrupt_quarantined(&self) -> u64 {
+        self.corrupt_quarantined.get()
     }
 
     /// Device statistics.
@@ -546,6 +648,102 @@ mod tests {
             buf.iter().all(|&x| x == 0),
             "cancelled transfer landed bytes"
         );
+    }
+
+    #[test]
+    fn bit_flip_lands_wrong_bytes_but_reports_success() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let pm = Rc::new(PhysMem::new(16, AllocPolicy::Sequential));
+        let cost = Rc::new(CostModel::default());
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 5,
+            dma_flip_prob: 1.0,
+            ..Default::default()
+        });
+        let eng = DmaEngine::with_channels(&h, Rc::clone(&pm), cost, 1, Some(plan));
+        let st = subtask(&pm, 512);
+        let (src, dst) = (st.src.frame, st.dst.frame);
+        let fired = Rc::new(Cell::new(false));
+        let fired2 = Rc::clone(&fired);
+        let eng2 = Rc::clone(&eng);
+        sim.spawn("driver", async move {
+            let c = eng2.submit(st, Some(Box::new(move |_| fired2.set(true))));
+            c.wait().await;
+            assert!(c.is_done(), "silent corruption still reports success");
+        });
+        sim.run();
+        assert!(fired.get(), "on_done fires — the device believes it");
+        assert_eq!(eng.stats().corrupted, 1);
+        let mut a = [0u8; 512];
+        let mut b = [0u8; 512];
+        pm.read(src, 0, &mut a);
+        pm.read(dst, 0, &mut b);
+        let diff_bits: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert_eq!(diff_bits, 1, "exactly one bit flipped in flight");
+    }
+
+    #[test]
+    fn misdirect_rotates_payload_but_reports_success() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let pm = Rc::new(PhysMem::new(16, AllocPolicy::Sequential));
+        let cost = Rc::new(CostModel::default());
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 8,
+            dma_misdirect_prob: 1.0,
+            ..Default::default()
+        });
+        let eng = DmaEngine::with_channels(&h, Rc::clone(&pm), cost, 1, Some(plan));
+        let st = subtask(&pm, 256); // non-uniform pattern: rotation must show
+        let (src, dst) = (st.src.frame, st.dst.frame);
+        let eng2 = Rc::clone(&eng);
+        sim.spawn("driver", async move {
+            let c = eng2.submit(st, None);
+            c.wait().await;
+            assert!(c.is_done());
+        });
+        sim.run();
+        assert_eq!(eng.stats().corrupted, 1);
+        let mut a = [0u8; 256];
+        let mut b = [0u8; 256];
+        pm.read(src, 0, &mut a);
+        pm.read(dst, 0, &mut b);
+        assert_ne!(a, b, "payload landed at a wrong offset");
+        // Same multiset of bytes — it is a misdirection, not a flip.
+        let mut sa = a;
+        let mut sb = b;
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn corruption_strikes_quarantine_channel_at_threshold() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let pm = Rc::new(PhysMem::new(16, AllocPolicy::Sequential));
+        let cost = Rc::new(CostModel::default());
+        let eng = DmaEngine::with_channels(&h, Rc::clone(&pm), cost, 2, None);
+        assert!(!eng.note_corruption(0), "first strike is below threshold");
+        assert_eq!(eng.live_channels(), 2);
+        assert!(eng.note_corruption(0), "second strike retires the channel");
+        assert_eq!(eng.live_channels(), 1);
+        assert_eq!(eng.quarantined(), 1);
+        assert_eq!(eng.corrupt_quarantined(), 1);
+        // Strikes on an already-dead channel don't double-count.
+        assert!(!eng.note_corruption(0));
+        assert_eq!(eng.corrupt_quarantined(), 1);
+        // Subsequent descriptors route to the surviving channel.
+        let st = subtask(&pm, 64);
+        let eng2 = Rc::clone(&eng);
+        sim.spawn("driver", async move {
+            let c = eng2.submit(st, None);
+            c.wait().await;
+            assert!(c.is_done());
+            assert_ne!(c.channel, 0);
+        });
+        sim.run();
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub mod units;
 
 pub use atcache::{ATCache, AtcStats};
 pub use cost::{CopyCurve, CostModel, CpuCopyKind};
-pub use dispatch::{DispatchReport, Dispatcher, PlannedCopy, ProgressFn};
+pub use dispatch::{DispatchReport, Dispatcher, PlannedCopy, ProgressFn, VerifyPolicy};
 pub use dma::{DmaCompletion, DmaEngine, DmaError, DmaStats};
 pub use units::{copy_extent_pair, slice_extents, split_subtasks, CpuUnit, SubTask};

@@ -351,8 +351,29 @@ impl AddressSpace {
     /// Used by the crash-recovery journal to detect torn destinations:
     /// head/tail sampling keeps the per-admission cost `O(PAGE_SIZE)`
     /// regardless of extent size, and a partial copy lands a prefix, so
-    /// the head page catches it.
+    /// the head page catches it. Equivalent to
+    /// [`extent_digest_stride`](Self::extent_digest_stride) with stride 0.
     pub fn extent_digest(&self, va: VirtAddr, len: usize) -> u64 {
+        self.extent_digest_stride(va, len, 0)
+    }
+
+    /// [`extent_digest`](Self::extent_digest) with a configurable page
+    /// sampling stride — the coverage/cost dial:
+    ///
+    /// * `stride == 0` — legacy head/tail sampling: `O(PAGE_SIZE)` per
+    ///   call, catches torn prefixes and truncated tails, but is blind
+    ///   to damage confined to interior pages (a mid-extent bit flip
+    ///   hashes identically).
+    /// * `stride == 1` — full coverage: every page folds in, cost
+    ///   `O(len)`. Detects any byte difference; what copy verification
+    ///   (`VerifyPolicy::Full` in copier-core) uses.
+    /// * `stride == k > 1` — head, tail, and every `k`-th interior page:
+    ///   cost `O(len / k)`, detects interior damage with probability
+    ///   `~1/k` per corrupted page. A middle ground for sampled
+    ///   verification of huge extents.
+    ///
+    /// Digests are only comparable between calls with the same stride.
+    pub fn extent_digest_stride(&self, va: VirtAddr, len: usize, stride: usize) -> u64 {
         const PRIME: u64 = 0x100_0000_01b3;
         let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (len as u64);
         h = h.wrapping_mul(PRIME);
@@ -360,33 +381,49 @@ impl AddressSpace {
             return h;
         }
         let end = va.0 + len as u64;
-        let first_end = ((va.vpn() + 1) * PAGE_SIZE as u64).min(end);
-        let mut chunks = [(va.0, first_end), (0, 0)];
-        if first_end < end {
-            let last_start = ((end - 1) / PAGE_SIZE as u64 * PAGE_SIZE as u64).max(first_end);
-            chunks[1] = (last_start, end);
-        }
+        let page = PAGE_SIZE as u64;
+        let last_vpn = (end - 1) / page;
         let mut buf = [0u8; PAGE_SIZE];
-        for &(s, e) in chunks.iter().filter(|&&(s, e)| s < e) {
+        let mut vpn = va.vpn();
+        while vpn <= last_vpn {
+            let idx = vpn - va.vpn();
+            let sampled =
+                idx == 0 || vpn == last_vpn || (stride >= 1 && idx.is_multiple_of(stride as u64));
+            if !sampled {
+                // Skip straight to the next sampled page (the tail page
+                // is always sampled, so never jump past it).
+                vpn = (vpn + (stride as u64 - idx % stride as u64)).min(last_vpn);
+                continue;
+            }
+            let s = (vpn * page).max(va.0);
+            let e = ((vpn + 1) * page).min(end);
             let addr = VirtAddr(s);
-            let n = (e - s) as usize;
-            let chunk = &mut buf[..n];
+            let chunk = &mut buf[..(e - s) as usize];
             if let Some(pte) = self.translate(addr) {
                 self.pm.read(pte.frame, addr.page_off(), chunk);
             } else {
                 chunk.fill(0);
             }
             // Word-at-a-time fold: the digest is only ever compared for
-            // equality against digests from this same function, so the
-            // wider mixing step is free to differ from byte-FNV — and it
-            // keeps the per-admission sampling cost off the service's
-            // host-time profile.
+            // equality against digests from this same function at the
+            // same stride, so the wider mixing step is free to differ
+            // from byte-FNV — and it keeps the per-admission sampling
+            // cost off the service's host-time profile.
             let mut words = chunk.chunks_exact(8);
             for w in words.by_ref() {
                 h = (h ^ u64::from_le_bytes(w.try_into().unwrap())).wrapping_mul(PRIME);
             }
             for &b in words.remainder() {
                 h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+            if stride == 0 {
+                // Head/tail only: jump from the head straight to the tail.
+                if vpn == last_vpn {
+                    break;
+                }
+                vpn = last_vpn;
+            } else {
+                vpn += 1;
             }
         }
         h
@@ -1054,6 +1091,57 @@ mod tests {
         let mut out = vec![0u8; data.len()];
         asp.read_bytes(va.add(50), &mut out).unwrap();
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn digest_stride_controls_mid_extent_coverage() {
+        let (_, asp) = setup(32, AllocPolicy::Sequential);
+        let pages = 8;
+        let va = asp.mmap(pages * PAGE_SIZE, Prot::RW, true).unwrap();
+        let data: Vec<u8> = (0..pages * PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+        asp.write_bytes(va, &data).unwrap();
+        let len = data.len();
+
+        let head_tail = asp.extent_digest(va, len);
+        assert_eq!(
+            head_tail,
+            asp.extent_digest_stride(va, len, 0),
+            "stride 0 is the legacy head/tail digest"
+        );
+        let full = asp.extent_digest_stride(va, len, 1);
+        let sparse = asp.extent_digest_stride(va, len, 3);
+
+        // Flip one byte in the dead middle of the extent.
+        let mid = VirtAddr(va.0 + (len / 2) as u64);
+        asp.write_bytes(mid, &[0xFF]).unwrap();
+
+        assert_eq!(
+            asp.extent_digest(va, len),
+            head_tail,
+            "head/tail sampling is blind to mid-extent damage"
+        );
+        assert_ne!(
+            asp.extent_digest_stride(va, len, 1),
+            full,
+            "full stride detects any byte difference"
+        );
+        // Page 4 of 8 is on the stride-3 lattice's complement — whether
+        // stride 3 sees it is fixed by geometry (idx 4 not sampled), so
+        // this documents the partial-coverage trade-off.
+        assert_eq!(
+            asp.extent_digest_stride(va, len, 3),
+            sparse,
+            "stride 3 skips the damaged interior page here"
+        );
+        // But damage on a sampled lattice page is caught.
+        asp.write_bytes(VirtAddr(va.0 + 3 * PAGE_SIZE as u64), &[0xEE])
+            .unwrap();
+        assert_ne!(asp.extent_digest_stride(va, len, 3), sparse);
+
+        // Sub-page extents agree across all strides (same single chunk).
+        let small = asp.extent_digest(va, 100);
+        assert_eq!(asp.extent_digest_stride(va, 100, 1), small);
+        assert_eq!(asp.extent_digest_stride(va, 100, 7), small);
     }
 
     #[test]

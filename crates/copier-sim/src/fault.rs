@@ -35,6 +35,28 @@ pub enum DmaFault {
     Timeout,
 }
 
+/// A silent-corruption decision for one DMA transfer: the device moves
+/// wrong bytes but still reports success — the failure class completion
+/// status cannot see. The owning layer (the DMA engine's device loop)
+/// applies the byte damage; the payload here is only a seeded position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SilentCorruption {
+    /// One bit of the destination is flipped in flight. `pos` is a raw
+    /// seeded draw; the engine reduces it modulo the transfer's bit
+    /// length.
+    BitFlip {
+        /// Seeded bit-position draw (reduced modulo `len * 8`).
+        pos: u64,
+    },
+    /// The payload lands at a wrong destination offset (a misdirected
+    /// write): the engine rotates the written bytes by a non-zero shift
+    /// derived from `shift`.
+    Misdirect {
+        /// Seeded offset-shift draw (reduced to `1..len`).
+        shift: u64,
+    },
+}
+
 /// A round sub-step at which the service consults the crash oracle.
 ///
 /// The points bracket the interesting control-plane states: after tasks
@@ -99,6 +121,18 @@ pub struct FaultConfig {
     /// Upper bound on injected crashes; past it every draw decides "no"
     /// (the draw is still consumed, keeping the schedule stable).
     pub max_crashes: u64,
+    /// Per-descriptor probability of an in-flight DMA bit flip (silent:
+    /// the transfer still reports success). Zero, together with
+    /// `dma_misdirect_prob == 0`, disables the corruption oracle with no
+    /// PRNG draw consumed.
+    pub dma_flip_prob: f64,
+    /// Per-descriptor probability of a misdirected DMA write (payload
+    /// lands at a wrong destination offset; still reports success).
+    pub dma_misdirect_prob: f64,
+    /// Per-consultation probability of a pinned-page bit-rot event
+    /// (scrubber substrate). Zero disables the rot oracle with no PRNG
+    /// draw consumed.
+    pub rot_prob: f64,
 }
 
 impl Default for FaultConfig {
@@ -111,6 +145,9 @@ impl Default for FaultConfig {
             atc_stale_prob: 0.0,
             crash_prob: 0.0,
             max_crashes: 0,
+            dma_flip_prob: 0.0,
+            dma_misdirect_prob: 0.0,
+            rot_prob: 0.0,
         }
     }
 }
@@ -128,12 +165,25 @@ pub struct FaultLog {
     pub atc_stale: u64,
     /// Service crashes injected.
     pub crashes: u64,
+    /// Silent DMA bit flips injected.
+    pub dma_flips: u64,
+    /// Misdirected DMA writes injected.
+    pub dma_misdirects: u64,
+    /// Pinned-page bit-rot events injected.
+    pub rot_events: u64,
 }
 
 impl FaultLog {
     /// Total injected faults of any class.
     pub fn total(&self) -> u64 {
-        self.dma_transient + self.dma_hard + self.dma_timeout + self.atc_stale + self.crashes
+        self.dma_transient
+            + self.dma_hard
+            + self.dma_timeout
+            + self.atc_stale
+            + self.crashes
+            + self.dma_flips
+            + self.dma_misdirects
+            + self.rot_events
     }
 }
 
@@ -324,6 +374,123 @@ impl FaultPlan {
         self.log.set(log);
     }
 
+    /// Decides whether one DMA transfer is silently corrupted, and how.
+    ///
+    /// With both corruption probabilities zero this consumes no draw at
+    /// all (same contract as the crash oracle), so corruption-free
+    /// schedules are byte-identical to pre-integrity-layer runs.
+    /// Otherwise exactly three draws are consumed per consultation
+    /// (flip check, misdirect check, position payload) regardless of
+    /// which classes are enabled or which fires; a flip outranks a
+    /// misdirect when both fire.
+    pub fn decide_corrupt(&self) -> Option<SilentCorruption> {
+        if self.cfg.dma_flip_prob <= 0.0 && self.cfg.dma_misdirect_prob <= 0.0 {
+            return None;
+        }
+        let tracer = self.tracer();
+        if let Some(t) = tracer.as_deref() {
+            if t.is_replay() {
+                if let Some((kind, arg)) = t.take_corrupt() {
+                    let c = Self::corrupt_from_code(kind, arg);
+                    self.count_corrupt(c);
+                    return c;
+                }
+                // Diverged: fall through to live draws.
+            }
+        }
+        let flip = self.rng.gen_bool(self.cfg.dma_flip_prob);
+        let misdirect = self.rng.gen_bool(self.cfg.dma_misdirect_prob);
+        let payload = self.rng.next_u64();
+        let c = if flip {
+            Some(SilentCorruption::BitFlip { pos: payload })
+        } else if misdirect {
+            Some(SilentCorruption::Misdirect { shift: payload })
+        } else {
+            None
+        };
+        self.count_corrupt(c);
+        if let Some(t) = tracer.as_deref() {
+            if !t.is_replay() {
+                let (kind, arg) = Self::corrupt_code(c);
+                t.emit(TraceEvent::CorruptDraw { kind, arg });
+            }
+        }
+        c
+    }
+
+    /// Wire encoding of a corruption decision: kind 0 none, 1 bit flip,
+    /// 2 misdirect; `arg` carries the position/shift payload.
+    pub fn corrupt_code(c: Option<SilentCorruption>) -> (u8, u64) {
+        match c {
+            None => (0, 0),
+            Some(SilentCorruption::BitFlip { pos }) => (1, pos),
+            Some(SilentCorruption::Misdirect { shift }) => (2, shift),
+        }
+    }
+
+    fn corrupt_from_code(kind: u8, arg: u64) -> Option<SilentCorruption> {
+        match kind {
+            1 => Some(SilentCorruption::BitFlip { pos: arg }),
+            2 => Some(SilentCorruption::Misdirect { shift: arg }),
+            _ => None,
+        }
+    }
+
+    fn count_corrupt(&self, c: Option<SilentCorruption>) {
+        let mut log = self.log.get();
+        match c {
+            Some(SilentCorruption::BitFlip { .. }) => log.dma_flips += 1,
+            Some(SilentCorruption::Misdirect { .. }) => log.dma_misdirects += 1,
+            None => {}
+        }
+        self.log.set(log);
+    }
+
+    /// Decides whether a pinned-page bit-rot event fires, returning the
+    /// seeded bit position it lands on (the owning layer reduces it to a
+    /// byte inside the scrub-registered footprint).
+    ///
+    /// With `rot_prob == 0.0` this consumes no draw at all; otherwise
+    /// exactly two draws (hit check, position payload) per consultation,
+    /// whether or not the event fires.
+    pub fn decide_rot(&self) -> Option<u64> {
+        if self.cfg.rot_prob <= 0.0 {
+            return None;
+        }
+        let tracer = self.tracer();
+        if let Some(t) = tracer.as_deref() {
+            if t.is_replay() {
+                if let Some((hit, pos)) = t.take_rot() {
+                    if hit {
+                        self.count_rot();
+                        return Some(pos);
+                    }
+                    return None;
+                }
+                // Diverged: fall through to live draws.
+            }
+        }
+        let hit = self.rng.gen_bool(self.cfg.rot_prob);
+        let pos = self.rng.next_u64();
+        if let Some(t) = tracer.as_deref() {
+            if !t.is_replay() {
+                t.emit(TraceEvent::RotDraw { hit, pos });
+            }
+        }
+        if hit {
+            self.count_rot();
+            Some(pos)
+        } else {
+            None
+        }
+    }
+
+    fn count_rot(&self) {
+        let mut log = self.log.get();
+        log.rot_events += 1;
+        self.log.set(log);
+    }
+
     /// Draws `n` virtual instants uniformly in `[0, horizon)` for delayed
     /// race events (`munmap`/exit against in-flight copies), sorted
     /// ascending. Harnesses spawn timer tasks at these instants.
@@ -491,6 +658,91 @@ mod tests {
         // Draws past the bound are still consumed: the DMA stream after
         // the crash budget is spent matches a plan that kept drawing.
         assert_eq!(a.decide_dma(), b.decide_dma());
+    }
+
+    #[test]
+    fn disabled_corruption_oracle_consumes_no_draws() {
+        // Corruption and rot oracles must be free when off: probing them
+        // with zero probabilities must not shift the DMA decision stream.
+        let plain = chaotic(21);
+        let probed = chaotic(21);
+        for _ in 0..300 {
+            assert_eq!(probed.decide_corrupt(), None);
+            assert_eq!(probed.decide_rot(), None);
+            assert_eq!(plain.decide_dma(), probed.decide_dma());
+        }
+        let log = probed.log();
+        assert_eq!(log.dma_flips + log.dma_misdirects + log.rot_events, 0);
+    }
+
+    #[test]
+    fn corruption_schedule_is_seeded_and_class_isolated() {
+        let mk = |misdirect: f64| {
+            FaultPlan::new(FaultConfig {
+                seed: 63,
+                dma_flip_prob: 0.15,
+                dma_misdirect_prob: misdirect,
+                rot_prob: 0.1,
+                ..Default::default()
+            })
+        };
+        let a = mk(0.15);
+        let b = mk(0.15);
+        let no_misdirect = mk(0.0);
+        let mut flips_a = 0;
+        let mut flips_c = 0;
+        for _ in 0..400 {
+            let ca = a.decide_corrupt();
+            assert_eq!(ca, b.decide_corrupt());
+            assert_eq!(a.decide_rot(), b.decide_rot());
+            if matches!(ca, Some(SilentCorruption::BitFlip { .. })) {
+                flips_a += 1;
+            }
+            if matches!(
+                no_misdirect.decide_corrupt(),
+                Some(SilentCorruption::BitFlip { .. })
+            ) {
+                flips_c += 1;
+            }
+            let _ = no_misdirect.decide_rot();
+        }
+        assert_eq!(flips_a, flips_c, "flip schedule independent of misdirects");
+        assert!(a.log().dma_flips > 0, "a chaotic plan must inject flips");
+        assert!(a.log().rot_events > 0, "rot oracle must fire at 10%");
+    }
+
+    #[test]
+    fn recorded_corruption_draws_replay_verbatim() {
+        let rec = Tracer::record();
+        let a = FaultPlan::new(FaultConfig {
+            seed: 11,
+            dma_flip_prob: 0.2,
+            dma_misdirect_prob: 0.2,
+            rot_prob: 0.15,
+            ..Default::default()
+        });
+        a.set_tracer(&rec);
+        let mut decisions = Vec::new();
+        for _ in 0..150 {
+            decisions.push((a.decide_corrupt(), a.decide_rot()));
+        }
+        let trace = rec.finish();
+
+        let rep = Tracer::replay(trace);
+        let b = FaultPlan::new(FaultConfig {
+            seed: 0xBEEF, // different seed: every decision must come from the log
+            dma_flip_prob: 0.2,
+            dma_misdirect_prob: 0.2,
+            rot_prob: 0.15,
+            ..Default::default()
+        });
+        b.set_tracer(&rep);
+        for &(c, r) in &decisions {
+            assert_eq!(b.decide_corrupt(), c);
+            assert_eq!(b.decide_rot(), r);
+        }
+        assert_eq!(rep.divergence(), None);
+        assert_eq!(a.log(), b.log(), "replay reproduces injection counters");
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod workload;
 pub use cache::{CacheConfig, CacheModel};
 pub use cpu::{Core, Machine, PowerModel, DEFAULT_QUANTUM};
 pub use exec::{JoinHandle, Sim, SimHandle, TaskId};
-pub use fault::{CrashPoint, DmaFault, FaultConfig, FaultLog, FaultPlan};
+pub use fault::{CrashPoint, DmaFault, FaultConfig, FaultLog, FaultPlan, SilentCorruption};
 pub use rng::{stream_seed, SimRng};
 pub use sync::{Chan, Notify};
 pub use time::Nanos;

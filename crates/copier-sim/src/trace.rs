@@ -90,6 +90,14 @@ pub enum TraceEvent {
     /// [`crate::fault::CrashPoint`] wire code; `fire` whether the
     /// service died there).
     CrashDraw { point: u8, fire: bool },
+    /// One silent-corruption draw for a DMA transfer: `kind` is 0 for
+    /// none, 1 for a bit flip (`arg` = bit position), 2 for a
+    /// misdirected write (`arg` = offset shift). See
+    /// [`crate::fault::SilentCorruption`].
+    CorruptDraw { kind: u8, arg: u64 },
+    /// One pinned-page bit-rot draw: `hit` whether rot fires this
+    /// round, `pos` the seeded bit position it lands on.
+    RotDraw { hit: bool, pos: u64 },
 }
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -201,6 +209,16 @@ impl TraceEvent {
                 out.push(*point);
                 out.push(*fire as u8);
             }
+            TraceEvent::CorruptDraw { kind, arg } => {
+                out.push(13);
+                out.push(*kind);
+                put_varint(out, *arg);
+            }
+            TraceEvent::RotDraw { hit, pos } => {
+                out.push(14);
+                out.push(*hit as u8);
+                put_varint(out, *pos);
+            }
         }
     }
 
@@ -270,6 +288,14 @@ impl TraceEvent {
             12 => TraceEvent::CrashDraw {
                 point: byte(pos)?,
                 fire: byte(pos)? != 0,
+            },
+            13 => TraceEvent::CorruptDraw {
+                kind: byte(pos)?,
+                arg: get_varint(buf, pos)?,
+            },
+            14 => TraceEvent::RotDraw {
+                hit: byte(pos)? != 0,
+                pos: get_varint(buf, pos)?,
             },
             t => return Err(format!("unknown event tag {t}")),
         })
@@ -669,6 +695,61 @@ impl Tracer {
         }
     }
 
+    /// Replay mode: consumes the next recorded silent-corruption draw
+    /// as `(kind, arg)`. `None` means the stream diverged (the caller
+    /// falls back to live draws).
+    pub fn take_corrupt(&self) -> Option<(u8, u64)> {
+        debug_assert!(self.is_replay());
+        if self.diverged.borrow().is_some() {
+            return None;
+        }
+        self.flush_header();
+        if self.diverged.borrow().is_some() {
+            return None;
+        }
+        let pos = self.cursor.get();
+        match self.recorded.get(pos) {
+            Some(&TraceEvent::CorruptDraw { kind, arg }) => {
+                self.cursor.set(pos + 1);
+                self.events
+                    .borrow_mut()
+                    .push(TraceEvent::CorruptDraw { kind, arg });
+                Some((kind, arg))
+            }
+            _ => {
+                self.mark_divergence("a silent-corruption draw was requested".into());
+                None
+            }
+        }
+    }
+
+    /// Replay mode: consumes the next recorded bit-rot draw as
+    /// `(hit, pos)`.
+    pub fn take_rot(&self) -> Option<(bool, u64)> {
+        debug_assert!(self.is_replay());
+        if self.diverged.borrow().is_some() {
+            return None;
+        }
+        self.flush_header();
+        if self.diverged.borrow().is_some() {
+            return None;
+        }
+        let pos = self.cursor.get();
+        match self.recorded.get(pos) {
+            Some(&TraceEvent::RotDraw { hit, pos: p }) => {
+                self.cursor.set(pos + 1);
+                self.events
+                    .borrow_mut()
+                    .push(TraceEvent::RotDraw { hit, pos: p });
+                Some((hit, p))
+            }
+            _ => {
+                self.mark_divergence("a bit-rot draw was requested".into());
+                None
+            }
+        }
+    }
+
     /// Replay mode: consumes the next recorded race-time batch of
     /// exactly `n` instants.
     pub fn take_races(&self, n: usize) -> Option<Vec<u64>> {
@@ -767,6 +848,14 @@ mod tests {
             TraceEvent::CrashDraw {
                 point: 3,
                 fire: true,
+            },
+            TraceEvent::CorruptDraw {
+                kind: 1,
+                arg: 1 << 33,
+            },
+            TraceEvent::RotDraw {
+                hit: true,
+                pos: u64::MAX,
             },
         ]
     }

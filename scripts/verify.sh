@@ -54,3 +54,22 @@ else
     python3 -c 'import json,sys; d=json.load(open("BENCH_crash.json"))["exactly_once"]; sys.exit(0 if d["violations"] == 0 and d["crashes"] > 0 else 1)'
 fi
 echo "BENCH_crash.json OK"
+
+# Integrity smoke: verified copies under injected silent corruption —
+# the bench asserts clean-run virtual-time identity across policies and
+# zero escapes under Full; the JSON must confirm no corruption escaped
+# (DESIGN.md §16). The 5% verify-overhead bar is full-mode only.
+INTEGRITY_SMOKE=1 cargo bench -q -p copier-bench --offline --locked --bench fig_integrity
+if command -v jq >/dev/null 2>&1; then
+    jq -e '[.coverage[] | select(.policy == "full")] | all(.escapes == 0 and .detected > 0)' BENCH_integrity.json >/dev/null
+else
+    python3 -c 'import json,sys; c=[x for x in json.load(open("BENCH_integrity.json"))["coverage"] if x["policy"]=="full"]; sys.exit(0 if c and all(x["escapes"]==0 and x["detected"]>0 for x in c) else 1)'
+fi
+echo "BENCH_integrity.json OK"
+
+# Repro-corpus replay: every committed .cptr trace under tests/repros/
+# must replay through the current build without divergence — a frozen
+# regression net over the corruption-draw wire format and the service's
+# round structure.
+REPRO_REPLAY=1 cargo test -q --offline --locked --test integrity repro_corpus_replays_identically
+echo "repro corpus OK"
