@@ -4,9 +4,17 @@
 //! Paper shape: with idle cores Copier improves latency and throughput;
 //! at full utilization it still cuts latency (≈ −18%) but costs a few
 //! percent of throughput to submission/polling cycles.
+//!
+//! Our miniature Redis diverges at saturation — dedicating 1 of 4 cores
+//! costs ≈ a core of throughput instead of the paper's −4–6% (see
+//! EXPERIMENTS.md). `BENCH_saturation.json` pins both halves of that
+//! story: the idle-core wins must hold, and the saturation loss may not
+//! regress below the measured floor.
 
 use std::cell::RefCell;
 use std::rc::Rc;
+
+use copier_bench::json::Json;
 
 use copier_apps::redis::{run_client, Op, RedisMode, RedisServer};
 use copier_bench::{delta, ratio, row, section, stats};
@@ -89,6 +97,8 @@ fn run(instances: usize, use_copier: bool, value: usize) -> (Nanos, f64) {
 
 fn main() {
     section("Fig 14: Redis SET on a 4-core budget (Copier uses 1 of 4)");
+    // (value, instances, base_lat_ns, cop_lat_ns, base_kreqs, cop_kreqs)
+    let mut points: Vec<(usize, usize, u64, u64, f64, f64)> = Vec::new();
     for value in [8 * 1024usize, 16 * 1024] {
         println!("\n  value = {}", copier_bench::kb(value));
         for instances in [1usize, 2, 3, 4] {
@@ -103,6 +113,60 @@ fn main() {
                 ("cop-kreq/s", format!("{ct:.1}")),
                 ("tput", ratio(ct, bt)),
             ]);
+            points.push((value, instances, bl.as_nanos(), cl.as_nanos(), bt, ct));
         }
     }
+
+    // Idle-core wins (1 instance): Copier must beat the baseline on both
+    // latency and throughput, at both value sizes — the paper-confirming
+    // half of the figure. Saturation (4 instances): the documented
+    // divergence may not deepen past the measured floor.
+    let idle_tput = points
+        .iter()
+        .filter(|p| p.1 == 1)
+        .map(|p| p.5 / p.4)
+        .fold(f64::INFINITY, f64::min);
+    let idle_lat = points
+        .iter()
+        .filter(|p| p.1 == 1)
+        .map(|p| p.3 as f64 / p.2 as f64)
+        .fold(0.0, f64::max);
+    let sat_tput = points
+        .iter()
+        .filter(|p| p.1 == 4)
+        .map(|p| p.5 / p.4)
+        .fold(f64::INFINITY, f64::min);
+    let json = Json::obj([
+        ("bench", Json::Str("fig14_saturation".into())),
+        ("smoke", Json::Bool(false)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|&(value, instances, bl, cl, bt, ct)| {
+                        Json::obj([
+                            ("value", Json::Int(value as u64)),
+                            ("instances", Json::Int(instances as u64)),
+                            ("base_lat_ns", Json::Int(bl)),
+                            ("copier_lat_ns", Json::Int(cl)),
+                            ("base_kreqs", Json::Num(bt)),
+                            ("copier_kreqs", Json::Num(ct)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "summary",
+            Json::Arr(vec![
+                Json::summary("idle_tput_gain", "ratio_min", 1.0, idle_tput),
+                Json::summary("idle_lat_ratio", "ratio_max", 1.0, idle_lat),
+                Json::summary("saturation_tput_floor", "ratio_min", 0.70, sat_tput),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_saturation.json");
+    json.write_file(path).expect("write BENCH_saturation.json");
+    println!("\n  wrote {path}");
 }

@@ -126,6 +126,14 @@ impl CopierHandle {
         self.svc()
     }
 
+    /// The control-plane shard serving this client (DESIGN.md §17):
+    /// always 0 on an unsharded service. Purely observational — the
+    /// library never routes by shard; the service stamps ownership at
+    /// registration/adoption from the address-space hash.
+    pub fn shard(&self) -> usize {
+        self.client.shard.get()
+    }
+
     /// Current service incarnation (never hold the borrow across an
     /// await: every use clones the `Rc` out immediately).
     fn svc(&self) -> Rc<Copier> {

@@ -263,6 +263,11 @@ pub struct Client {
     /// mismatch against the live service tells the library its rings
     /// predate a restart.
     pub epoch: Cell<u64>,
+    /// Control-plane shard owning this client (DESIGN.md §17). Stamped by
+    /// the service at registration/adoption from the deterministic hash of
+    /// the client's address-space id; 0 on unsharded services. Every
+    /// drain/schedule/finalize touch of this client happens on its shard.
+    pub shard: Cell<usize>,
 }
 
 impl Client {
@@ -282,6 +287,7 @@ impl Client {
             inflight_bytes: Cell::new(0),
             pinned: Cell::new(0),
             epoch: Cell::new(0),
+            shard: Cell::new(0),
         })
     }
 

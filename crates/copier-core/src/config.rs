@@ -136,6 +136,15 @@ pub struct CopierConfig {
     /// Scrubber cadence: one registered chunk is re-digested every this
     /// many scheduling rounds (0 disables the scrubber walk).
     pub scrub_period: u64,
+    /// Number of control-plane shards (DESIGN.md §17). 1 (the default)
+    /// is the classic single-instance service, byte-identical to every
+    /// pre-shard build. N > 1 partitions clients across N service cores
+    /// by a deterministic hash of the client's address-space id; shards
+    /// coordinate admission and fairness through a deterministic round
+    /// barrier, so runs stay bit-reproducible from a seed at any shard
+    /// count. Requires `cores.len() >= shards`, `auto_scale == false`,
+    /// and NAPI polling.
+    pub shards: usize,
 }
 
 impl Default for CopierConfig {
@@ -170,6 +179,7 @@ impl Default for CopierConfig {
             corrupt_quarantine_threshold: 2,
             admit_digest_stride: 0,
             scrub_period: 64,
+            shards: 1,
         }
     }
 }

@@ -27,6 +27,26 @@ pub fn vruntime_before(a: u64, b: u64) -> bool {
     (a.wrapping_sub(b) as i64) < 0
 }
 
+/// The wrap-safe minimum copied-length vruntime among live `clients`
+/// (`None` if all are dead). Shards publish this at the round barrier so
+/// peers can keep the least-served exemption global without scanning
+/// each other's client tables (DESIGN.md §17).
+pub fn min_live_vruntime<'a>(clients: impl IntoIterator<Item = &'a Rc<Client>>) -> Option<u64> {
+    let mut min: Option<u64> = None;
+    for c in clients {
+        if c.dead.get() {
+            continue;
+        }
+        let v = c.copied_total.get();
+        min = Some(match min {
+            None => v,
+            Some(m) if vruntime_before(v, m) => v,
+            Some(m) => m,
+        });
+    }
+    min
+}
+
 /// One control group with a `copier.shares` weight.
 pub struct CGroup {
     /// Human-readable name.
@@ -226,6 +246,22 @@ mod tests {
         s.charge(&a, 100);
         s.charge(&a, 200);
         assert_eq!(a.copied_total.get(), 300);
+    }
+
+    #[test]
+    fn min_live_vruntime_skips_dead_and_wraps() {
+        let a = client_with_work(1);
+        let b = client_with_work(2);
+        assert_eq!(min_live_vruntime([] as [&Rc<Client>; 0]), None);
+        a.copied_total.set(u64::MAX - 10); // wrapped: actually least-served
+        b.copied_total.set(100);
+        assert_eq!(
+            min_live_vruntime([&a, &b]),
+            Some(u64::MAX - 10),
+            "wrap-safe order, not numeric order"
+        );
+        a.dead.set(true);
+        assert_eq!(min_live_vruntime([&a, &b]), Some(100));
     }
 
     #[test]

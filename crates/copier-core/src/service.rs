@@ -27,7 +27,7 @@ use copier_mem::{
     frames_of, AddressSpace, Extent, FrameId, MemError, PhysMem, VirtAddr, PAGE_SIZE,
 };
 use copier_sim::trace::{fnv_fold, TraceEvent, FNV_OFFSET};
-use copier_sim::{Core, CrashPoint, Nanos, Notify, SimHandle};
+use copier_sim::{stream_seed, Core, CrashPoint, Nanos, Notify, SimHandle};
 
 use crate::absorb::{self, AbsorbPlan};
 use crate::client::{Client, ClientId, PendEntry, QueueSet, TaintRange};
@@ -35,7 +35,7 @@ use crate::config::{CopierConfig, PollMode};
 use crate::descriptor::{CopyFault, SegDescriptor};
 use crate::interval::IntervalSet;
 use crate::journal::{AdmitRec, Journal, JournalStats, Recovered, TaintRec};
-use crate::sched::{vruntime_before, Scheduler};
+use crate::sched::{min_live_vruntime, vruntime_before, Scheduler};
 use crate::task::{CopyTask, Handler, QueueEntry, SyncTask, TaskId};
 
 /// Per-thread dispatch progress map, reused across rounds (cleared, not
@@ -169,6 +169,38 @@ struct ScrubRegion {
     healing: Vec<Rc<Cell<bool>>>,
 }
 
+/// One control-plane shard's private state (DESIGN.md §17). The hot
+/// counters (`bytes`, the stats deltas) are written only by the owning
+/// shard during its round; the `peer_*` mirrors are rewritten for every
+/// shard by the last arriver at the round barrier, from one snapshot
+/// taken in shard-id order — the deterministic "message round". Reads of
+/// cross-shard state therefore never observe a peer mid-round, which is
+/// what keeps N-shard runs bit-reproducible from a seed.
+#[derive(Default)]
+struct ShardState {
+    /// Bytes currently admitted by this shard's clients — this shard's
+    /// slice of `global_bytes`.
+    bytes: Cell<u64>,
+    /// Sum of every *other* shard's `bytes` as of the last barrier.
+    peer_bytes: Cell<u64>,
+    /// Wrap-safe minimum live vruntime across every *other* shard as of
+    /// the last barrier (`None`: peers have no live clients). Keeps the
+    /// least-served admission exemption global without scanning peer
+    /// client tables mid-round.
+    peer_min_vr: Cell<Option<u64>>,
+    /// Latched watermark-shedding state (per-shard hysteresis latch over
+    /// the shared watermarks).
+    shedding: Cell<bool>,
+    /// Monotone per-shard round counter (trace round identity).
+    round_no: Cell<u64>,
+    /// Bytes physically copied by this shard (stats delta).
+    bytes_copied: Cell<u64>,
+    /// Tasks completed by this shard (stats delta).
+    tasks_completed: Cell<u64>,
+    /// Rounds in which this shard executed a batch (stats delta).
+    rounds_active: Cell<u64>,
+}
+
 /// The asynchronous-copy OS service.
 pub struct Copier {
     h: SimHandle,
@@ -193,6 +225,26 @@ pub struct Copier {
     global_bytes: Cell<u64>,
     /// Latched global-watermark shedding state (hysteresis).
     shedding: Cell<bool>,
+    /// Per-shard control planes; `len() == cfg.shards.max(1)`. At one
+    /// shard the slot exists but every legacy code path stays in force —
+    /// the per-shard counters are maintained unconditionally (host-side
+    /// `Cell` writes, no virtual time), the sharded decision paths are
+    /// not taken.
+    shards: Vec<ShardState>,
+    /// Round-barrier generation (bumped by the last arriver).
+    barrier_gen: Cell<u64>,
+    /// Shards arrived at the current barrier generation.
+    barrier_arrived: Cell<usize>,
+    /// OR-accumulator of `did_work` across the current generation's
+    /// arrivals; folded into `barrier_any` at release.
+    barrier_acc: Cell<bool>,
+    /// Whether any shard did work in the last completed generation — the
+    /// barrier-agreed idleness fact: shards park only when this is
+    /// false, so they spin down (and wake) together.
+    barrier_any: Cell<bool>,
+    /// Wakes shards parked at the round barrier. Distinct from `wake`:
+    /// submission wakeups must not release a barrier early.
+    barrier_wake: Rc<Notify>,
     /// Monotone round counter feeding the record/replay trace (round
     /// identity in the event log; counts every poll round, active or
     /// idle — idle rounds emit nothing thanks to lazy headers).
@@ -243,7 +295,28 @@ impl Copier {
         dispatcher.set_verify(cfg.verify, cfg.repair_limit);
         let atcache = Rc::new(ATCache::new(cfg.atcache_capacity.max(1)));
         atcache.set_enabled(cfg.atcache_capacity > 0);
-        let threads = if cfg.auto_scale { 1 } else { cores.len() };
+        let nshards = cfg.shards.max(1);
+        if nshards > 1 {
+            assert!(
+                cores.len() >= nshards,
+                "sharded service needs one dedicated core per shard"
+            );
+            assert!(
+                !cfg.auto_scale,
+                "shards and auto_scale are mutually exclusive"
+            );
+            assert!(
+                matches!(cfg.polling, PollMode::Napi { .. }),
+                "sharded service requires NAPI polling"
+            );
+        }
+        let threads = if cfg.auto_scale {
+            1
+        } else if nshards > 1 {
+            nshards
+        } else {
+            cores.len()
+        };
         // Journal attach: replay whatever a previous incarnation left in
         // the store (truncating a torn tail) and open a new epoch. The
         // tid high-water mark carries forward so task ids never collide
@@ -287,6 +360,12 @@ impl Copier {
             stopping: Cell::new(false),
             global_bytes: Cell::new(0),
             shedding: Cell::new(false),
+            shards: (0..nshards).map(|_| ShardState::default()).collect(),
+            barrier_gen: Cell::new(0),
+            barrier_arrived: Cell::new(0),
+            barrier_acc: Cell::new(false),
+            barrier_any: Cell::new(false),
+            barrier_wake: Rc::new(Notify::new()),
             round_no: Cell::new(0),
             crashed: Cell::new(false),
             epoch: Cell::new(epoch),
@@ -338,6 +417,69 @@ impl Copier {
         self.global_bytes.get()
     }
 
+    /// Number of control-plane shards (1 = the classic single-instance
+    /// service).
+    pub fn nshards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic shard owner of an address space: a splitmix-mixed
+    /// hash of the space id. Stable across runs, registration order, and
+    /// shard count (only the modulus changes), so the same tenant lands
+    /// on the same shard in every run of a given configuration.
+    pub fn shard_of_space(&self, space_id: u32) -> usize {
+        (stream_seed(space_id as u64, 0) % self.shards.len() as u64) as usize
+    }
+
+    /// Per-shard `(bytes_copied, tasks_completed, rounds_active)` deltas
+    /// — the observables the shard-scaling bench and the differential
+    /// suite read. Valid for `idx < nshards()`.
+    pub fn shard_stats(&self, idx: usize) -> (u64, u64, u64) {
+        let s = &self.shards[idx];
+        (
+            s.bytes_copied.get(),
+            s.tasks_completed.get(),
+            s.rounds_active.get(),
+        )
+    }
+
+    /// Wrap-safe minimum live vruntime among shard `idx`'s clients —
+    /// what the shard publishes at the round barrier.
+    fn shard_min_vr(&self, idx: usize) -> Option<u64> {
+        min_live_vruntime(
+            self.clients
+                .borrow()
+                .iter()
+                .filter(|c| c.shard.get() == idx),
+        )
+    }
+
+    /// Adds admitted bytes to the owning shard's slice of the global
+    /// window (host-side `Cell`; maintained at every shard count).
+    fn shard_bytes_add(&self, client: &Client, len: u64) {
+        let sh = &self.shards[client.shard.get()];
+        sh.bytes.set(sh.bytes.get() + len);
+    }
+
+    /// Inverse of [`Self::shard_bytes_add`] for the completion path.
+    fn shard_bytes_sub(&self, client: &Client, len: u64) {
+        let sh = &self.shards[client.shard.get()];
+        sh.bytes.set(sh.bytes.get().saturating_sub(len));
+    }
+
+    /// Emits a trace event attributed to `shard`: the legacy anonymous
+    /// emit at one shard (wire-identical to every committed trace), the
+    /// per-shard lazy-header path otherwise.
+    fn temit(&self, shard: usize, ev: TraceEvent) {
+        if let Some(t) = &self.cfg.tracer {
+            if self.nshards() > 1 {
+                t.emit_on(shard as u32, ev);
+            } else {
+                t.emit(ev);
+            }
+        }
+    }
+
     /// The `(pending, index, stats)` state hashes closing an active
     /// traced round (DESIGN.md §14). Every component is iterated in a
     /// deterministic order (registration order for clients and sets,
@@ -347,85 +489,46 @@ impl Copier {
         let mut hp = FNV_OFFSET;
         let mut hx = FNV_OFFSET;
         for c in self.clients.borrow().iter() {
-            let mut si = 0;
-            while let Some(set) = c.set_at(si) {
-                si += 1;
-                for e in set.pending.borrow().iter() {
-                    hp = fnv_fold(hp, e.tid);
-                    hp = fnv_fold(hp, e.key.0);
-                    hp = fnv_fold(hp, e.key.1 as u64);
-                    hp = fnv_fold(hp, e.key.2);
-                    hp = fnv_fold(hp, e.task.len as u64);
-                    for ivs in [&e.copied, &e.inflight, &e.deferred] {
-                        for (lo, hi) in ivs.borrow().iter() {
-                            hp = fnv_fold(hp, lo as u64);
-                            hp = fnv_fold(hp, hi as u64);
-                        }
-                        hp = fnv_fold(hp, u64::MAX); // interval-set sentinel
-                    }
-                    let flags = (e.promoted.get() as u64)
-                        | (e.aborted.get() as u64) << 1
-                        | (e.failed.get().map_or(0, |f| copy_fault_code(f) as u64)) << 2;
-                    hp = fnv_fold(hp, flags);
-                }
-                hx = fnv_fold(hx, set.index.digest());
-            }
+            fold_client_state(c, &mut hp, &mut hx);
         }
         (hp, hx, self.stats_digest())
     }
 
-    /// Canonical flattening of [`CopierStats`] (field order is the
-    /// struct's declaration order; append-only like `stats_key` in the
-    /// chaos suite) — the single shape both the trace state hash and the
-    /// journal checkpoint use.
+    /// [`Self::trace_hashes`] restricted to shard `idx`: its clients'
+    /// window/index state plus the shard's private stats deltas. Closing
+    /// every shard round with these is what lets replay divergence
+    /// localize to a `(shard, round)` pair instead of "somewhere this
+    /// generation".
+    fn shard_trace_hashes(&self, idx: usize) -> (u64, u64, u64) {
+        let mut hp = FNV_OFFSET;
+        let mut hx = FNV_OFFSET;
+        for c in self
+            .clients
+            .borrow()
+            .iter()
+            .filter(|c| c.shard.get() == idx)
+        {
+            fold_client_state(c, &mut hp, &mut hx);
+        }
+        let sh = &self.shards[idx];
+        let mut hs = FNV_OFFSET;
+        for v in [
+            sh.bytes.get(),
+            sh.bytes_copied.get(),
+            sh.tasks_completed.get(),
+            sh.rounds_active.get(),
+        ] {
+            hs = fnv_fold(hs, v);
+        }
+        (hp, hx, hs)
+    }
+
+    /// Canonical flattening of [`CopierStats`] — the single shape both
+    /// the trace state hash and the journal checkpoint use. See
+    /// [`stats_to_vec`] and [`stats_layout`] for the (append-only)
+    /// index assignment.
     fn stats_vec(&self) -> Vec<u64> {
-        let s = self.stats();
-        vec![
-            s.tasks_completed,
-            s.bytes_copied,
-            s.bytes_absorbed,
-            s.bytes_deferred_executed,
-            s.syncs,
-            s.promotions,
-            s.aborts,
-            s.faults,
-            s.idle_polls,
-            s.busy_rounds,
-            s.dispatch.cpu_bytes as u64,
-            s.dispatch.dma_bytes as u64,
-            s.dispatch.dma_descriptors as u64,
-            s.dispatch.dma_wait.as_nanos(),
-            s.dispatch.retries,
-            s.dispatch.fallback_bytes as u64,
-            s.proactive_faults,
-            s.retries,
-            s.fallback_bytes,
-            s.quarantined_channels,
-            s.orphans_reclaimed,
-            s.dependents_aborted,
-            s.admission_rejected,
-            s.shed_bytes,
-            s.credits_granted,
-            s.degraded_sync_copies,
-            s.pressure_events,
-            s.hazard_scans,
-            s.index_hits,
-            s.index_entries_peak,
-            s.rounds_settled,
-            s.rounds_active,
-            s.crashes,
-            s.recovered_tasks,
-            s.recovered_finalized,
-            s.dropped_unjournaled,
-            s.torn_poisoned,
-            s.dispatch.corruptions,
-            s.dispatch.repairs,
-            s.corrupted_poisoned,
-            s.scrub_chunks,
-            s.scrub_heals,
-            s.scrub_unrepairable,
-            s.corrupt_quarantined,
-        ]
+        stats_to_vec(&self.stats())
     }
 
     /// FNV-1a fold of [`Copier::stats_vec`].
@@ -453,6 +556,7 @@ impl Copier {
         // returns one per completion.
         c.set_credit_cap(self.cfg.admission.max_client_tasks);
         c.epoch.set(self.epoch.get());
+        c.shard.set(self.shard_of_space(c.uspace.id()));
         self.clients.borrow_mut().push(Rc::clone(&c));
         c
     }
@@ -480,6 +584,7 @@ impl Copier {
         }
         self.stopping.set(true);
         self.wake.notify_all();
+        self.barrier_wake.notify_all();
     }
 
     /// Whether an injected crash killed this incarnation. The library
@@ -520,6 +625,9 @@ impl Copier {
         self.stopping.set(true);
         self.stats.borrow_mut().crashes += 1;
         self.wake.notify_all();
+        // A crashed shard never reaches its next barrier; peers parked
+        // there must be released to observe `stopping` and die too.
+        self.barrier_wake.notify_all();
         true
     }
 
@@ -538,9 +646,15 @@ impl Copier {
         self.active_threads.get()
     }
 
-    /// Starts one service task per core.
+    /// Starts one service task per core (per shard when sharded: cores
+    /// beyond the shard count stay free for tenants).
     pub fn start(self: &Rc<Self>) {
-        for i in 0..self.cores.len() {
+        let n = if self.nshards() > 1 {
+            self.nshards()
+        } else {
+            self.cores.len()
+        };
+        for i in 0..n {
             let me = Rc::clone(self);
             self.h.spawn(
                 &format!("copier-{i}"),
@@ -550,6 +664,9 @@ impl Copier {
     }
 
     async fn thread_loop(self: Rc<Self>, idx: usize) {
+        if self.nshards() > 1 {
+            return self.shard_loop(idx).await;
+        }
         let core = Rc::clone(&self.cores[idx]);
         let mut idle_streak = 0u32;
         // Per-thread round scratch: the dispatch progress map is cleared
@@ -635,6 +752,136 @@ impl Copier {
         }
     }
 
+    /// Sharded service thread (DESIGN.md §17): shard `idx` owns the
+    /// clients hashed to it and runs the classic round loop over them,
+    /// then meets every other shard at a deterministic round barrier
+    /// where byte counts and fairness minima are exchanged. Rounds are
+    /// thus lockstep generations: admission and least-served decisions
+    /// in generation g read only peer state published at the end of
+    /// generation g-1 — never a peer's mid-round state — which is what
+    /// keeps N-shard runs bit-reproducible from a seed.
+    async fn shard_loop(self: Rc<Self>, idx: usize) {
+        let core = Rc::clone(&self.cores[idx]);
+        let mut idle_streak = 0u32;
+        let mut scratch = RoundScratch {
+            clients: Vec::new(),
+            by_tid: Rc::new(RefCell::new(BTreeMap::new())),
+        };
+        let PollMode::Napi {
+            spin_rounds,
+            park_timeout,
+        } = self.cfg.polling
+        else {
+            unreachable!("sharded service requires NAPI polling (enforced at construction)");
+        };
+        loop {
+            if self.stopping.get() {
+                if idx == 0 && !self.crashed.get() {
+                    if let Some(t) = &self.cfg.tracer {
+                        t.record_mem(self.pm.digest());
+                    }
+                }
+                // Release peers still parked at the barrier: a shard
+                // exiting without arriving must not strand them.
+                self.barrier_wake.notify_all();
+                return;
+            }
+            let did = self.round(idx, &core, &mut scratch).await;
+            if did {
+                self.stats.borrow_mut().busy_rounds += 1;
+            }
+            let any = self.barrier_round(did).await;
+            if any {
+                // Some shard did work this generation: everyone keeps
+                // polling hot, even shards that were themselves idle —
+                // idleness is a barrier-agreed global fact, never a local
+                // guess, so the shards spin down (and park) in lockstep.
+                idle_streak = 0;
+                continue;
+            }
+            self.stats.borrow_mut().idle_polls += 1;
+            core.advance(self.cost.poll_idle).await;
+            idle_streak += 1;
+            if idle_streak > spin_rounds {
+                self.parked.set(self.parked.get() + 1);
+                let notified = self.wake.wait_timeout(&self.h, park_timeout).await;
+                self.parked.set(self.parked.get() - 1);
+                if notified {
+                    core.advance(self.cfg.wake_latency).await;
+                }
+                idle_streak = 0;
+            }
+        }
+    }
+
+    /// The deterministic round barrier. Every shard arrives once per
+    /// generation; the last arriver runs the cross-shard message round
+    /// ([`Self::exchange`]), folds the generation's `did_work` OR into
+    /// [`Copier::barrier_any`], bumps the generation, and releases the
+    /// waiters. Returns whether *any* shard did work this generation.
+    ///
+    /// Shutdown safety: `stop()` and `maybe_crash()` notify
+    /// `barrier_wake`, and the wait re-checks `stopping`, so no shard is
+    /// ever stranded behind a peer that exited without arriving.
+    async fn barrier_round(&self, did: bool) -> bool {
+        let generation = self.barrier_gen.get();
+        if did {
+            self.barrier_acc.set(true);
+        }
+        let arrived = self.barrier_arrived.get() + 1;
+        if arrived == self.nshards() {
+            self.barrier_arrived.set(0);
+            self.exchange();
+            self.barrier_any.set(self.barrier_acc.get());
+            self.barrier_acc.set(false);
+            self.barrier_gen.set(generation + 1);
+            self.barrier_wake.notify_all();
+        } else {
+            self.barrier_arrived.set(arrived);
+            // The check-then-await is race-free on the cooperative
+            // single-threaded host: no other task runs between the
+            // condition read and the waker registration.
+            while self.barrier_gen.get() == generation && !self.stopping.get() {
+                self.barrier_wake.notified().await;
+            }
+        }
+        self.barrier_any.get()
+    }
+
+    /// The cross-shard message round (DESIGN.md §17), executed by the
+    /// last barrier arriver: reads each shard's published byte count and
+    /// live-vruntime minimum in shard-id order — one deterministic
+    /// snapshot — and rewrites every shard's `peer_*` mirrors from it.
+    /// Generation g+1 therefore sees one consistent cross-shard view no
+    /// matter how the shards' rounds interleaved inside generation g.
+    fn exchange(&self) {
+        let bytes: Vec<u64> = self.shards.iter().map(|s| s.bytes.get()).collect();
+        let minvr: Vec<Option<u64>> = (0..self.nshards()).map(|i| self.shard_min_vr(i)).collect();
+        for (i, sh) in self.shards.iter().enumerate() {
+            let peer: u64 = bytes
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, b)| *b)
+                .sum();
+            sh.peer_bytes.set(peer);
+            let mut pm: Option<u64> = None;
+            for v in minvr
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .filter_map(|(_, v)| *v)
+            {
+                pm = Some(match pm {
+                    None => v,
+                    Some(m) if vruntime_before(v, m) => v,
+                    Some(m) => m,
+                });
+            }
+            sh.peer_min_vr.set(pm);
+        }
+    }
+
     fn autoscale(&self) {
         let mut load = 0usize;
         for c in self.clients.borrow().iter() {
@@ -656,6 +903,18 @@ impl Copier {
     /// of allocating a fresh snapshot.
     fn assigned_into(&self, idx: usize, out: &mut Vec<Rc<Client>>) {
         out.clear();
+        if self.nshards() > 1 {
+            // Sharded ownership is by space hash, not round-robin index:
+            // a client's whole QueueSet state lives on exactly one shard
+            // for the client's lifetime, so no cross-shard locking or
+            // entry migration ever happens.
+            for c in self.clients.borrow().iter() {
+                if c.shard.get() == idx {
+                    out.push(Rc::clone(c));
+                }
+            }
+            return;
+        }
         let n = self.active_threads.get().max(1);
         for (i, c) in self.clients.borrow().iter().enumerate() {
             if i % n == idx {
@@ -697,6 +956,21 @@ impl Copier {
         let Some(tracer) = self.cfg.tracer.clone() else {
             return self.round_inner(idx, core, scratch).await;
         };
+        if self.nshards() > 1 {
+            // Sharded round identity is the (shard, per-shard round)
+            // pair; each shard closes its own active rounds with its own
+            // state hashes, so replay divergence names the shard too.
+            let sh = &self.shards[idx];
+            let round_no = sh.round_no.get() + 1;
+            sh.round_no.set(round_no);
+            tracer.begin_shard_round(idx as u32, round_no, self.h.now().as_nanos());
+            let did = self.round_inner(idx, core, scratch).await;
+            let mem_due = tracer.end_shard_round(idx as u32, || self.shard_trace_hashes(idx));
+            if mem_due {
+                tracer.record_mem(self.pm.digest());
+            }
+            return did;
+        }
         let round_no = self.round_no.get() + 1;
         self.round_no.set(round_no);
         tracer.begin_round(round_no, self.h.now().as_nanos());
@@ -775,12 +1049,13 @@ impl Copier {
                 .await;
         }
         if drained + synced > 0 {
-            if let Some(t) = &self.cfg.tracer {
-                t.emit(TraceEvent::Drained {
+            self.temit(
+                idx,
+                TraceEvent::Drained {
                     copies: drained as u64,
                     syncs: synced as u64,
-                });
-            }
+                },
+            );
             // Crash point: after draining, before the admissions became
             // durable — the staged Admit records die with this
             // incarnation, so adoption drops the entries undelivered and
@@ -808,9 +1083,10 @@ impl Copier {
             self.stats.borrow_mut().rounds_settled += 1;
             return drained + synced > 0;
         };
-        if let Some(t) = &self.cfg.tracer {
-            t.emit(TraceEvent::SchedPick { client: client.id });
-        }
+        self.temit(
+            client.shard.get(),
+            TraceEvent::SchedPick { client: client.id },
+        );
         // 4. Select a batch.
         let selected = self.select_batch(&client, now);
         if selected.is_empty() {
@@ -818,6 +1094,10 @@ impl Copier {
             return drained + synced > 0;
         }
         self.stats.borrow_mut().rounds_active += 1;
+        {
+            let sh = &self.shards[client.shard.get()];
+            sh.rounds_active.set(sh.rounds_active.get() + 1);
+        }
         // 5–7. Plan, dispatch, complete.
         self.execute(core, &client, selected, &scratch.by_tid).await;
         // Completion records staged by finalize become durable at round
@@ -871,13 +1151,14 @@ impl Copier {
     /// one `Admit` event per copy submission at the drain boundary.
     fn admit_traced(&self, client: &Rc<Client>, t: &CopyTask) -> bool {
         let admitted = self.admit(client, t);
-        if let Some(tr) = &self.cfg.tracer {
-            tr.emit(TraceEvent::Admit {
+        self.temit(
+            client.shard.get(),
+            TraceEvent::Admit {
                 client: client.id,
                 len: t.len as u64,
                 admitted,
-            });
-        }
+            },
+        );
         admitted
     }
 
@@ -895,6 +1176,9 @@ impl Copier {
         if client.inflight_bytes.get().saturating_add(t.len as u64) > q.max_client_bytes {
             return false;
         }
+        if self.nshards() > 1 {
+            return self.admit_global_sharded(client);
+        }
         let g = self.global_bytes.get();
         if self.shedding.get() {
             if g <= q.global_low_bytes {
@@ -904,6 +1188,28 @@ impl Copier {
             self.shedding.set(true);
         }
         !self.shedding.get() || self.least_served(client)
+    }
+
+    /// Sharded global-watermark decision: the shard's live byte count
+    /// plus every peer's count as published at the last round barrier.
+    /// The peer snapshot only changes at barriers, so the decision is
+    /// independent of how rounds interleave inside a generation — the
+    /// same hysteresis latch as the legacy path, per shard. Staleness is
+    /// bounded by one generation and errs at most `nshards - 1` rounds
+    /// of admissions past the high watermark, the price of not taking a
+    /// global lock on the hot path.
+    fn admit_global_sharded(&self, client: &Rc<Client>) -> bool {
+        let q = &self.cfg.admission;
+        let sh = &self.shards[client.shard.get()];
+        let g = sh.bytes.get().saturating_add(sh.peer_bytes.get());
+        if sh.shedding.get() {
+            if g <= q.global_low_bytes {
+                sh.shedding.set(false);
+            }
+        } else if g >= q.global_high_bytes {
+            sh.shedding.set(true);
+        }
+        !sh.shedding.get() || self.least_served(client)
     }
 
     /// Whether `client` is (tied for) the least-served live client — the
@@ -916,6 +1222,24 @@ impl Copier {
         // is strictly before it in vruntime order. A plain `min()` would
         // misrank a freshly wrapped accumulator (see `vruntime_before`).
         let cur = client.copied_total.get();
+        if self.nshards() > 1 {
+            // The exemption stays *global* under sharding: own-shard
+            // clients are scanned live, peers through the minimum each
+            // shard published at the last barrier — deterministic, and
+            // stale by at most one generation.
+            let sh = &self.shards[client.shard.get()];
+            if let Some(pm) = sh.peer_min_vr.get() {
+                if vruntime_before(pm, cur) {
+                    return false;
+                }
+            }
+            return !self
+                .clients
+                .borrow()
+                .iter()
+                .filter(|c| !c.dead.get() && c.shard.get() == client.shard.get())
+                .any(|c| vruntime_before(c.copied_total.get(), cur));
+        }
         !self
             .clients
             .borrow()
@@ -1057,6 +1381,7 @@ impl Copier {
         client.inflight_tasks.set(client.inflight_tasks.get() + 1);
         client.inflight_bytes.set(client.inflight_bytes.get() + len);
         self.global_bytes.set(self.global_bytes.get() + len);
+        self.shard_bytes_add(client, len);
     }
 
     /// Serves one Sync Task: promotion (with dependency closure) or abort.
@@ -1393,6 +1718,11 @@ impl Copier {
                 st.dispatch.corruptions += report.corruptions;
                 st.dispatch.repairs += report.repairs;
             }
+            {
+                let sh = &self.shards[client.shard.get()];
+                sh.bytes_copied
+                    .set(sh.bytes_copied.get() + (report.cpu_bytes + report.dma_bytes) as u64);
+            }
             // Verification failures that exhausted bounded repair: the
             // destination bytes are wrong even though every segment was
             // marked, so the descriptor is poisoned `Corrupted` and the
@@ -1464,9 +1794,13 @@ impl Copier {
             match self.degraded_copy(core, e, &s.plan, &gaps).await {
                 Ok(copied) => {
                     degraded_bytes += copied;
-                    let mut st = self.stats.borrow_mut();
-                    st.degraded_sync_copies += 1;
-                    st.bytes_copied += copied as u64;
+                    {
+                        let mut st = self.stats.borrow_mut();
+                        st.degraded_sync_copies += 1;
+                        st.bytes_copied += copied as u64;
+                    }
+                    let sh = &self.shards[client.shard.get()];
+                    sh.bytes_copied.set(sh.bytes_copied.get() + copied as u64);
                 }
                 Err(fault) => {
                     e.failed.set(Some(fault));
@@ -1619,12 +1953,13 @@ impl Copier {
         };
         // Descriptor state transition for the record/replay trace: one
         // TaskDone per window entry, in finalization order.
-        if let Some(tr) = &self.cfg.tracer {
-            tr.emit(TraceEvent::TaskDone {
+        self.temit(
+            client.shard.get(),
+            TraceEvent::TaskDone {
                 tid: e.tid,
                 fault: fault_code,
-            });
-        }
+            },
+        );
         // The completion becomes durable at the next journal flush; until
         // then the task replays as live and is digest-reconciled at
         // adoption.
@@ -1644,6 +1979,7 @@ impl Copier {
         );
         self.global_bytes
             .set(self.global_bytes.get().saturating_sub(e.task.len as u64));
+        self.shard_bytes_sub(client, e.task.len as u64);
         // The delivery claim (client memory, survives a crash) is the
         // exactly-once gate: handler and credit fire for the first
         // settlement of this submission across all service incarnations.
@@ -1657,6 +1993,8 @@ impl Copier {
         }
         if !e.aborted.get() && e.failed.get().is_none() {
             self.stats.borrow_mut().tasks_completed += 1;
+            let sh = &self.shards[client.shard.get()];
+            sh.tasks_completed.set(sh.tasks_completed.get() + 1);
         }
         // Window and index removal by key (the window is sorted by unique
         // key, so this replaces the O(n) retain sweep). Runs after the
@@ -1840,6 +2178,7 @@ impl Copier {
                 .get()
                 .saturating_sub(client.inflight_bytes.get()),
         );
+        self.shard_bytes_sub(client, client.inflight_bytes.get());
         client.inflight_tasks.set(0);
         client.inflight_bytes.set(0);
         client.pinned.set(0);
@@ -2062,6 +2401,9 @@ impl Copier {
         if client.id >= self.next_client.get() {
             self.next_client.set(client.id + 1);
         }
+        // Re-stamp shard ownership under this incarnation: the hash is
+        // stable, but the successor may run a different shard count.
+        client.shard.set(self.shard_of_space(client.uspace.id()));
         self.clients.borrow_mut().push(Rc::clone(client));
         let recovered = self.recovered.borrow();
         let empty = BTreeMap::new();
@@ -2121,6 +2463,7 @@ impl Copier {
         // finalize path balances.
         self.global_bytes
             .set(self.global_bytes.get() + client.inflight_bytes.get());
+        self.shard_bytes_add(client, client.inflight_bytes.get());
         let refinalized = finish.len() as u64;
         for (set, e) in &finish {
             self.finalize(client, set, e);
@@ -2210,6 +2553,37 @@ impl Copier {
     }
 }
 
+/// Folds one client's window and index state into the `(pending, index)`
+/// trace hashes. Every component is iterated in a deterministic order
+/// (registration order for sets, window-key order for entries, BTreeMap
+/// order inside the index), so equal states hash equal regardless of how
+/// they were reached.
+fn fold_client_state(c: &Rc<Client>, hp: &mut u64, hx: &mut u64) {
+    let mut si = 0;
+    while let Some(set) = c.set_at(si) {
+        si += 1;
+        for e in set.pending.borrow().iter() {
+            *hp = fnv_fold(*hp, e.tid);
+            *hp = fnv_fold(*hp, e.key.0);
+            *hp = fnv_fold(*hp, e.key.1 as u64);
+            *hp = fnv_fold(*hp, e.key.2);
+            *hp = fnv_fold(*hp, e.task.len as u64);
+            for ivs in [&e.copied, &e.inflight, &e.deferred] {
+                for (lo, hi) in ivs.borrow().iter() {
+                    *hp = fnv_fold(*hp, lo as u64);
+                    *hp = fnv_fold(*hp, hi as u64);
+                }
+                *hp = fnv_fold(*hp, u64::MAX); // interval-set sentinel
+            }
+            let flags = (e.promoted.get() as u64)
+                | (e.aborted.get() as u64) << 1
+                | (e.failed.get().map_or(0, |f| copy_fault_code(f) as u64)) << 2;
+            *hp = fnv_fold(*hp, flags);
+        }
+        *hx = fnv_fold(*hx, set.index.digest());
+    }
+}
+
 /// Cuts a gap list down to at most `cap` total bytes (copy-slice rounds).
 fn truncate_gaps(gaps: Vec<(usize, usize)>, cap: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::with_capacity(gaps.len());
@@ -2295,57 +2669,292 @@ fn copy_fault_from_code(code: u8) -> CopyFault {
     }
 }
 
-/// Inverse of `Copier::stats_vec` for checkpoint restore. Fields missing
+/// Named indexes of the canonical [`CopierStats`] flattening
+/// ([`stats_to_vec`] / [`stats_from_vec`]) — the single shape the trace
+/// state hash and the journal checkpoint both use. The assignment is
+/// **append-only**: committed traces and journal stores encode these
+/// positions, so an existing index may never be renumbered; new counters
+/// take the next free slot (which is why the integrity counters at 37+
+/// interleave dispatch and service fields). `stats_layout_is_frozen`
+/// pins every value.
+pub mod stats_layout {
+    /// `tasks_completed`.
+    pub const TASKS_COMPLETED: usize = 0;
+    /// `bytes_copied`.
+    pub const BYTES_COPIED: usize = 1;
+    /// `bytes_absorbed`.
+    pub const BYTES_ABSORBED: usize = 2;
+    /// `bytes_deferred_executed`.
+    pub const BYTES_DEFERRED_EXECUTED: usize = 3;
+    /// `syncs`.
+    pub const SYNCS: usize = 4;
+    /// `promotions`.
+    pub const PROMOTIONS: usize = 5;
+    /// `aborts`.
+    pub const ABORTS: usize = 6;
+    /// `faults`.
+    pub const FAULTS: usize = 7;
+    /// `idle_polls`.
+    pub const IDLE_POLLS: usize = 8;
+    /// `busy_rounds`.
+    pub const BUSY_ROUNDS: usize = 9;
+    /// `dispatch.cpu_bytes`.
+    pub const DISPATCH_CPU_BYTES: usize = 10;
+    /// `dispatch.dma_bytes`.
+    pub const DISPATCH_DMA_BYTES: usize = 11;
+    /// `dispatch.dma_descriptors`.
+    pub const DISPATCH_DMA_DESCRIPTORS: usize = 12;
+    /// `dispatch.dma_wait` (nanoseconds).
+    pub const DISPATCH_DMA_WAIT_NS: usize = 13;
+    /// `dispatch.retries`.
+    pub const DISPATCH_RETRIES: usize = 14;
+    /// `dispatch.fallback_bytes`.
+    pub const DISPATCH_FALLBACK_BYTES: usize = 15;
+    /// `proactive_faults`.
+    pub const PROACTIVE_FAULTS: usize = 16;
+    /// `retries`.
+    pub const RETRIES: usize = 17;
+    /// `fallback_bytes`.
+    pub const FALLBACK_BYTES: usize = 18;
+    /// `quarantined_channels`.
+    pub const QUARANTINED_CHANNELS: usize = 19;
+    /// `orphans_reclaimed`.
+    pub const ORPHANS_RECLAIMED: usize = 20;
+    /// `dependents_aborted`.
+    pub const DEPENDENTS_ABORTED: usize = 21;
+    /// `admission_rejected`.
+    pub const ADMISSION_REJECTED: usize = 22;
+    /// `shed_bytes`.
+    pub const SHED_BYTES: usize = 23;
+    /// `credits_granted`.
+    pub const CREDITS_GRANTED: usize = 24;
+    /// `degraded_sync_copies`.
+    pub const DEGRADED_SYNC_COPIES: usize = 25;
+    /// `pressure_events`.
+    pub const PRESSURE_EVENTS: usize = 26;
+    /// `hazard_scans`.
+    pub const HAZARD_SCANS: usize = 27;
+    /// `index_hits`.
+    pub const INDEX_HITS: usize = 28;
+    /// `index_entries_peak`.
+    pub const INDEX_ENTRIES_PEAK: usize = 29;
+    /// `rounds_settled`.
+    pub const ROUNDS_SETTLED: usize = 30;
+    /// `rounds_active`.
+    pub const ROUNDS_ACTIVE: usize = 31;
+    /// `crashes`.
+    pub const CRASHES: usize = 32;
+    /// `recovered_tasks`.
+    pub const RECOVERED_TASKS: usize = 33;
+    /// `recovered_finalized`.
+    pub const RECOVERED_FINALIZED: usize = 34;
+    /// `dropped_unjournaled`.
+    pub const DROPPED_UNJOURNALED: usize = 35;
+    /// `torn_poisoned`.
+    pub const TORN_POISONED: usize = 36;
+    /// `dispatch.corruptions` (appended after the crash-recovery block).
+    pub const DISPATCH_CORRUPTIONS: usize = 37;
+    /// `dispatch.repairs`.
+    pub const DISPATCH_REPAIRS: usize = 38;
+    /// `corrupted_poisoned`.
+    pub const CORRUPTED_POISONED: usize = 39;
+    /// `scrub_chunks`.
+    pub const SCRUB_CHUNKS: usize = 40;
+    /// `scrub_heals`.
+    pub const SCRUB_HEALS: usize = 41;
+    /// `scrub_unrepairable`.
+    pub const SCRUB_UNREPAIRABLE: usize = 42;
+    /// `corrupt_quarantined`.
+    pub const CORRUPT_QUARANTINED: usize = 43;
+    /// One past the last assigned index.
+    pub const LEN: usize = 44;
+}
+
+/// Canonical flattening of [`CopierStats`] into the append-only
+/// [`stats_layout`] vector shape.
+pub fn stats_to_vec(s: &CopierStats) -> Vec<u64> {
+    use stats_layout::*;
+    let mut v = vec![0u64; LEN];
+    v[TASKS_COMPLETED] = s.tasks_completed;
+    v[BYTES_COPIED] = s.bytes_copied;
+    v[BYTES_ABSORBED] = s.bytes_absorbed;
+    v[BYTES_DEFERRED_EXECUTED] = s.bytes_deferred_executed;
+    v[SYNCS] = s.syncs;
+    v[PROMOTIONS] = s.promotions;
+    v[ABORTS] = s.aborts;
+    v[FAULTS] = s.faults;
+    v[IDLE_POLLS] = s.idle_polls;
+    v[BUSY_ROUNDS] = s.busy_rounds;
+    v[DISPATCH_CPU_BYTES] = s.dispatch.cpu_bytes as u64;
+    v[DISPATCH_DMA_BYTES] = s.dispatch.dma_bytes as u64;
+    v[DISPATCH_DMA_DESCRIPTORS] = s.dispatch.dma_descriptors as u64;
+    v[DISPATCH_DMA_WAIT_NS] = s.dispatch.dma_wait.as_nanos();
+    v[DISPATCH_RETRIES] = s.dispatch.retries;
+    v[DISPATCH_FALLBACK_BYTES] = s.dispatch.fallback_bytes as u64;
+    v[PROACTIVE_FAULTS] = s.proactive_faults;
+    v[RETRIES] = s.retries;
+    v[FALLBACK_BYTES] = s.fallback_bytes;
+    v[QUARANTINED_CHANNELS] = s.quarantined_channels;
+    v[ORPHANS_RECLAIMED] = s.orphans_reclaimed;
+    v[DEPENDENTS_ABORTED] = s.dependents_aborted;
+    v[ADMISSION_REJECTED] = s.admission_rejected;
+    v[SHED_BYTES] = s.shed_bytes;
+    v[CREDITS_GRANTED] = s.credits_granted;
+    v[DEGRADED_SYNC_COPIES] = s.degraded_sync_copies;
+    v[PRESSURE_EVENTS] = s.pressure_events;
+    v[HAZARD_SCANS] = s.hazard_scans;
+    v[INDEX_HITS] = s.index_hits;
+    v[INDEX_ENTRIES_PEAK] = s.index_entries_peak;
+    v[ROUNDS_SETTLED] = s.rounds_settled;
+    v[ROUNDS_ACTIVE] = s.rounds_active;
+    v[CRASHES] = s.crashes;
+    v[RECOVERED_TASKS] = s.recovered_tasks;
+    v[RECOVERED_FINALIZED] = s.recovered_finalized;
+    v[DROPPED_UNJOURNALED] = s.dropped_unjournaled;
+    v[TORN_POISONED] = s.torn_poisoned;
+    v[DISPATCH_CORRUPTIONS] = s.dispatch.corruptions;
+    v[DISPATCH_REPAIRS] = s.dispatch.repairs;
+    v[CORRUPTED_POISONED] = s.corrupted_poisoned;
+    v[SCRUB_CHUNKS] = s.scrub_chunks;
+    v[SCRUB_HEALS] = s.scrub_heals;
+    v[SCRUB_UNREPAIRABLE] = s.scrub_unrepairable;
+    v[CORRUPT_QUARANTINED] = s.corrupt_quarantined;
+    v
+}
+
+/// Inverse of [`stats_to_vec`] for checkpoint restore. Fields missing
 /// from an older (shorter) checkpoint read as zero, so the vector stays
 /// append-only like the digest it feeds.
-fn stats_from_vec(v: &[u64]) -> CopierStats {
+pub fn stats_from_vec(v: &[u64]) -> CopierStats {
+    use stats_layout::*;
     let g = |i: usize| v.get(i).copied().unwrap_or(0);
     CopierStats {
-        tasks_completed: g(0),
-        bytes_copied: g(1),
-        bytes_absorbed: g(2),
-        bytes_deferred_executed: g(3),
-        syncs: g(4),
-        promotions: g(5),
-        aborts: g(6),
-        faults: g(7),
-        idle_polls: g(8),
-        busy_rounds: g(9),
+        tasks_completed: g(TASKS_COMPLETED),
+        bytes_copied: g(BYTES_COPIED),
+        bytes_absorbed: g(BYTES_ABSORBED),
+        bytes_deferred_executed: g(BYTES_DEFERRED_EXECUTED),
+        syncs: g(SYNCS),
+        promotions: g(PROMOTIONS),
+        aborts: g(ABORTS),
+        faults: g(FAULTS),
+        idle_polls: g(IDLE_POLLS),
+        busy_rounds: g(BUSY_ROUNDS),
         dispatch: DispatchReport {
-            cpu_bytes: g(10) as usize,
-            dma_bytes: g(11) as usize,
-            dma_descriptors: g(12) as usize,
-            dma_wait: Nanos(g(13)),
-            retries: g(14),
-            fallback_bytes: g(15) as usize,
-            corruptions: g(37),
-            repairs: g(38),
+            cpu_bytes: g(DISPATCH_CPU_BYTES) as usize,
+            dma_bytes: g(DISPATCH_DMA_BYTES) as usize,
+            dma_descriptors: g(DISPATCH_DMA_DESCRIPTORS) as usize,
+            dma_wait: Nanos(g(DISPATCH_DMA_WAIT_NS)),
+            retries: g(DISPATCH_RETRIES),
+            fallback_bytes: g(DISPATCH_FALLBACK_BYTES) as usize,
+            corruptions: g(DISPATCH_CORRUPTIONS),
+            repairs: g(DISPATCH_REPAIRS),
         },
-        proactive_faults: g(16),
-        retries: g(17),
-        fallback_bytes: g(18),
-        quarantined_channels: g(19),
-        orphans_reclaimed: g(20),
-        dependents_aborted: g(21),
-        admission_rejected: g(22),
-        shed_bytes: g(23),
-        credits_granted: g(24),
-        degraded_sync_copies: g(25),
-        pressure_events: g(26),
-        hazard_scans: g(27),
-        index_hits: g(28),
-        index_entries_peak: g(29),
-        rounds_settled: g(30),
-        rounds_active: g(31),
-        crashes: g(32),
-        recovered_tasks: g(33),
-        recovered_finalized: g(34),
-        dropped_unjournaled: g(35),
-        torn_poisoned: g(36),
-        corrupted_poisoned: g(39),
-        scrub_chunks: g(40),
-        scrub_heals: g(41),
-        scrub_unrepairable: g(42),
-        corrupt_quarantined: g(43),
+        proactive_faults: g(PROACTIVE_FAULTS),
+        retries: g(RETRIES),
+        fallback_bytes: g(FALLBACK_BYTES),
+        quarantined_channels: g(QUARANTINED_CHANNELS),
+        orphans_reclaimed: g(ORPHANS_RECLAIMED),
+        dependents_aborted: g(DEPENDENTS_ABORTED),
+        admission_rejected: g(ADMISSION_REJECTED),
+        shed_bytes: g(SHED_BYTES),
+        credits_granted: g(CREDITS_GRANTED),
+        degraded_sync_copies: g(DEGRADED_SYNC_COPIES),
+        pressure_events: g(PRESSURE_EVENTS),
+        hazard_scans: g(HAZARD_SCANS),
+        index_hits: g(INDEX_HITS),
+        index_entries_peak: g(INDEX_ENTRIES_PEAK),
+        rounds_settled: g(ROUNDS_SETTLED),
+        rounds_active: g(ROUNDS_ACTIVE),
+        crashes: g(CRASHES),
+        recovered_tasks: g(RECOVERED_TASKS),
+        recovered_finalized: g(RECOVERED_FINALIZED),
+        dropped_unjournaled: g(DROPPED_UNJOURNALED),
+        torn_poisoned: g(TORN_POISONED),
+        corrupted_poisoned: g(CORRUPTED_POISONED),
+        scrub_chunks: g(SCRUB_CHUNKS),
+        scrub_heals: g(SCRUB_HEALS),
+        scrub_unrepairable: g(SCRUB_UNREPAIRABLE),
+        corrupt_quarantined: g(CORRUPT_QUARANTINED),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins every committed [`stats_layout`] index: a renumbering would
+    /// silently corrupt journal checkpoints and trace state hashes
+    /// recorded by older builds, so this test is the freeze.
+    #[test]
+    fn stats_layout_is_frozen() {
+        use stats_layout::*;
+        let assigned = [
+            TASKS_COMPLETED,
+            BYTES_COPIED,
+            BYTES_ABSORBED,
+            BYTES_DEFERRED_EXECUTED,
+            SYNCS,
+            PROMOTIONS,
+            ABORTS,
+            FAULTS,
+            IDLE_POLLS,
+            BUSY_ROUNDS,
+            DISPATCH_CPU_BYTES,
+            DISPATCH_DMA_BYTES,
+            DISPATCH_DMA_DESCRIPTORS,
+            DISPATCH_DMA_WAIT_NS,
+            DISPATCH_RETRIES,
+            DISPATCH_FALLBACK_BYTES,
+            PROACTIVE_FAULTS,
+            RETRIES,
+            FALLBACK_BYTES,
+            QUARANTINED_CHANNELS,
+            ORPHANS_RECLAIMED,
+            DEPENDENTS_ABORTED,
+            ADMISSION_REJECTED,
+            SHED_BYTES,
+            CREDITS_GRANTED,
+            DEGRADED_SYNC_COPIES,
+            PRESSURE_EVENTS,
+            HAZARD_SCANS,
+            INDEX_HITS,
+            INDEX_ENTRIES_PEAK,
+            ROUNDS_SETTLED,
+            ROUNDS_ACTIVE,
+            CRASHES,
+            RECOVERED_TASKS,
+            RECOVERED_FINALIZED,
+            DROPPED_UNJOURNALED,
+            TORN_POISONED,
+            DISPATCH_CORRUPTIONS,
+            DISPATCH_REPAIRS,
+            CORRUPTED_POISONED,
+            SCRUB_CHUNKS,
+            SCRUB_HEALS,
+            SCRUB_UNREPAIRABLE,
+            CORRUPT_QUARANTINED,
+        ];
+        assert_eq!(assigned.len(), LEN, "every slot below LEN is assigned");
+        // The declaration above lists the indexes in their frozen wire
+        // order, so position == value pins each one individually.
+        for (pos, &idx) in assigned.iter().enumerate() {
+            assert_eq!(idx, pos, "stats_layout index renumbered at slot {pos}");
+        }
+    }
+
+    /// `stats_from_vec(stats_to_vec(s))` is the identity on every field
+    /// — made observable by a second flattening. Distinct per-field
+    /// values catch any swapped indexes the freeze test's naming missed.
+    #[test]
+    fn stats_vec_roundtrips() {
+        let mut v: Vec<u64> = (1000..1000 + stats_layout::LEN as u64).collect();
+        let s = stats_from_vec(&v);
+        assert_eq!(stats_to_vec(&s), v);
+        // Older (shorter) checkpoints zero-fill the missing tail.
+        v.truncate(37);
+        let s = stats_from_vec(&v);
+        let full = stats_to_vec(&s);
+        assert_eq!(&full[..37], &v[..]);
+        assert!(full[37..].iter().all(|&x| x == 0));
     }
 }

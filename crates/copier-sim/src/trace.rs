@@ -98,6 +98,21 @@ pub enum TraceEvent {
     /// One pinned-page bit-rot draw: `hit` whether rot fires this
     /// round, `pos` the seeded bit position it lands on.
     RotDraw { hit: bool, pos: u64 },
+    /// A shard's service round began (sharded control plane, DESIGN.md
+    /// §17; lazy, like `RoundStart`). `round` is the shard-local round
+    /// counter.
+    ShardRoundStart { shard: u32, round: u64, now: u64 },
+    /// Shard round boundary with that shard's state hashes: the pending
+    /// windows and address indexes of its clients, plus its per-shard
+    /// stats digest. Lets replay pinpoint the first divergent
+    /// `(shard, round)` pair instead of just a global position.
+    ShardRoundEnd {
+        shard: u32,
+        round: u64,
+        pending: u64,
+        index: u64,
+        stats: u64,
+    },
 }
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -219,6 +234,26 @@ impl TraceEvent {
                 out.push(*hit as u8);
                 put_varint(out, *pos);
             }
+            TraceEvent::ShardRoundStart { shard, round, now } => {
+                out.push(15);
+                put_varint(out, *shard as u64);
+                put_varint(out, *round);
+                put_varint(out, *now);
+            }
+            TraceEvent::ShardRoundEnd {
+                shard,
+                round,
+                pending,
+                index,
+                stats,
+            } => {
+                out.push(16);
+                put_varint(out, *shard as u64);
+                put_varint(out, *round);
+                put_varint(out, *pending);
+                put_varint(out, *index);
+                put_varint(out, *stats);
+            }
         }
     }
 
@@ -296,6 +331,18 @@ impl TraceEvent {
             14 => TraceEvent::RotDraw {
                 hit: byte(pos)? != 0,
                 pos: get_varint(buf, pos)?,
+            },
+            15 => TraceEvent::ShardRoundStart {
+                shard: get_varint(buf, pos)? as u32,
+                round: get_varint(buf, pos)?,
+                now: get_varint(buf, pos)?,
+            },
+            16 => TraceEvent::ShardRoundEnd {
+                shard: get_varint(buf, pos)? as u32,
+                round: get_varint(buf, pos)?,
+                pending: get_varint(buf, pos)?,
+                index: get_varint(buf, pos)?,
+                stats: get_varint(buf, pos)?,
             },
             t => return Err(format!("unknown event tag {t}")),
         })
@@ -403,13 +450,25 @@ impl Trace {
     pub fn first_divergence(&self, other: &Trace) -> Option<Divergence> {
         let n = self.events.len().min(other.events.len());
         let mut round = 0u64;
+        let mut shard = 0u32;
         for i in 0..n {
-            if let TraceEvent::RoundStart { round: r, .. } = self.events[i] {
-                round = r;
+            match self.events[i] {
+                TraceEvent::RoundStart { round: r, .. } => {
+                    round = r;
+                    shard = 0;
+                }
+                TraceEvent::ShardRoundStart {
+                    shard: s, round: r, ..
+                } => {
+                    round = r;
+                    shard = s;
+                }
+                _ => {}
             }
             if self.events[i] != other.events[i] {
                 return Some(Divergence {
                     round,
+                    shard,
                     pos: i,
                     expected: Some(self.events[i].clone()),
                     got: format!("{:?}", other.events[i]),
@@ -419,6 +478,7 @@ impl Trace {
         if self.events.len() != other.events.len() {
             return Some(Divergence {
                 round,
+                shard,
                 pos: n,
                 expected: self.events.get(n).cloned(),
                 got: format!(
@@ -436,8 +496,11 @@ impl Trace {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Divergence {
     /// Round current when the mismatch was detected (0 = before the
-    /// first recorded round).
+    /// first recorded round). Shard-local on sharded runs.
     pub round: u64,
+    /// Shard whose round was current when the mismatch was detected
+    /// (always 0 on unsharded runs).
+    pub shard: u32,
     /// Index into the recorded event stream.
     pub pos: usize,
     /// The recorded event at that position (`None` if the log was
@@ -451,8 +514,8 @@ impl std::fmt::Display for Divergence {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "replay diverged at round {} (event {}): expected {:?}, got {}",
-            self.round, self.pos, self.expected, self.got
+            "replay diverged at shard {} round {} (event {}): expected {:?}, got {}",
+            self.shard, self.round, self.pos, self.expected, self.got
         )
     }
 }
@@ -489,6 +552,21 @@ pub struct Tracer {
     flushed: Cell<bool>,
     active_rounds: Cell<u64>,
     mem_interval: Cell<u64>,
+    /// Sharded control plane (DESIGN.md §17): the shard whose round
+    /// header an anonymous emit (fault-plan draw) attributes to — the
+    /// last shard that emitted through `emit_on`. Always 0 unsharded.
+    shard_cur: Cell<u32>,
+    /// One lazy round header per shard, same protocol as `header`.
+    shard_slots: RefCell<Vec<ShardSlot>>,
+}
+
+/// Per-shard lazy round header state (mirrors the unsharded
+/// `header`/`flushed` pair).
+#[derive(Clone, Copy, Default)]
+struct ShardSlot {
+    round: u64,
+    header: Option<(u64, u64)>,
+    flushed: bool,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -515,6 +593,8 @@ impl Tracer {
             flushed: Cell::new(false),
             active_rounds: Cell::new(0),
             mem_interval: Cell::new(DEFAULT_MEM_INTERVAL),
+            shard_cur: Cell::new(0),
+            shard_slots: RefCell::new(Vec::new()),
         })
     }
 
@@ -548,6 +628,7 @@ impl Tracer {
         let pos = self.cursor.get();
         *self.diverged.borrow_mut() = Some(Divergence {
             round: self.round.get(),
+            shard: self.shard_cur.get(),
             pos,
             expected: self.recorded.get(pos).cloned(),
             got,
@@ -573,10 +654,39 @@ impl Tracer {
             self.flushed.set(true);
             self.push(TraceEvent::RoundStart { round, now });
         }
+        // Sharded runs buffer one header per shard; an event is
+        // attributed to the shard that last emitted through `emit_on`
+        // (anonymous draws inherit it — every *active* shard round
+        // flushes its own header through a service emit first, so an
+        // inherited flush only ever surfaces an otherwise-idle round,
+        // deterministically on record and replay alike).
+        let cur = self.shard_cur.get() as usize;
+        let hdr = {
+            let mut slots = self.shard_slots.borrow_mut();
+            match slots.get_mut(cur) {
+                Some(slot) => slot.header.take().inspect(|_| slot.flushed = true),
+                None => None,
+            }
+        };
+        if let Some((round, now)) = hdr {
+            self.push(TraceEvent::ShardRoundStart {
+                shard: cur as u32,
+                round,
+                now,
+            });
+        }
     }
 
     /// Emits one event, flushing the pending round header first.
     pub fn emit(&self, ev: TraceEvent) {
+        self.flush_header();
+        self.push(ev);
+    }
+
+    /// Emits one event on behalf of `shard`, flushing that shard's
+    /// pending round header first (sharded control plane, DESIGN.md §17).
+    pub fn emit_on(&self, shard: u32, ev: TraceEvent) {
+        self.shard_cur.set(shard);
         self.flush_header();
         self.push(ev);
     }
@@ -587,6 +697,53 @@ impl Tracer {
         self.round.set(round);
         self.header.set(Some((round, now)));
         self.flushed.set(false);
+    }
+
+    /// Opens shard-local round `round` of `shard` at virtual instant
+    /// `now`. Like `begin_round`, the header stays buffered until the
+    /// shard emits something through `emit_on` (or an anonymous draw
+    /// lands while this shard is current).
+    pub fn begin_shard_round(&self, shard: u32, round: u64, now: u64) {
+        self.round.set(round);
+        self.shard_cur.set(shard);
+        let mut slots = self.shard_slots.borrow_mut();
+        if slots.len() <= shard as usize {
+            slots.resize(shard as usize + 1, ShardSlot::default());
+        }
+        slots[shard as usize] = ShardSlot {
+            round,
+            header: Some((round, now)),
+            flushed: false,
+        };
+    }
+
+    /// Closes `shard`'s round. If it was active (emitted anything), a
+    /// `ShardRoundEnd` carrying that shard's `(pending, index, stats)`
+    /// hashes from the closure is appended — the closure is never called
+    /// for idle rounds. Returns whether a memory digest checkpoint is
+    /// due (counted across all shards' active rounds).
+    pub fn end_shard_round(&self, shard: u32, hashes: impl FnOnce() -> (u64, u64, u64)) -> bool {
+        let (flushed, round) = {
+            let mut slots = self.shard_slots.borrow_mut();
+            let slot = &mut slots[shard as usize];
+            slot.header = None;
+            (slot.flushed, slot.round)
+        };
+        if !flushed {
+            return false;
+        }
+        let (pending, index, stats) = hashes();
+        self.shard_cur.set(shard);
+        self.push(TraceEvent::ShardRoundEnd {
+            shard,
+            round,
+            pending,
+            index,
+            stats,
+        });
+        let n = self.active_rounds.get() + 1;
+        self.active_rounds.set(n);
+        n.is_multiple_of(self.mem_interval.get())
     }
 
     /// Closes the round. If it was active (emitted anything), a
@@ -857,6 +1014,18 @@ mod tests {
                 hit: true,
                 pos: u64::MAX,
             },
+            TraceEvent::ShardRoundStart {
+                shard: 3,
+                round: 17,
+                now: 1 << 50,
+            },
+            TraceEvent::ShardRoundEnd {
+                shard: 3,
+                round: 17,
+                pending: u64::MAX,
+                index: 1,
+                stats: 0xfeed_f00d,
+            },
         ]
     }
 
@@ -985,6 +1154,70 @@ mod tests {
         rep2.emit(TraceEvent::DmaDraw { fault: 3 });
         let _ = rep2.finish();
         assert!(rep2.divergence().is_some(), "unconsumed tail must flag");
+    }
+
+    #[test]
+    fn shard_round_headers_are_lazy_and_interleave() {
+        let t = Tracer::record();
+        // Shard 1 opens a round, shard 0 opens one too; only shard 1
+        // emits — shard 0's header must never appear.
+        t.begin_shard_round(0, 5, 100);
+        t.begin_shard_round(1, 7, 100);
+        t.emit_on(
+            1,
+            TraceEvent::Drained {
+                copies: 2,
+                syncs: 0,
+            },
+        );
+        assert!(!t.end_shard_round(0, || unreachable!("idle shard rounds are never hashed")));
+        t.end_shard_round(1, || (4, 5, 6));
+        let trace = t.finish();
+        assert_eq!(
+            trace.events(),
+            &[
+                TraceEvent::ShardRoundStart {
+                    shard: 1,
+                    round: 7,
+                    now: 100
+                },
+                TraceEvent::Drained {
+                    copies: 2,
+                    syncs: 0
+                },
+                TraceEvent::ShardRoundEnd {
+                    shard: 1,
+                    round: 7,
+                    pending: 4,
+                    index: 5,
+                    stats: 6
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn shard_replay_divergence_names_shard_and_round() {
+        let rec = Tracer::record();
+        for (shard, round) in [(0u32, 1u64), (1, 1), (0, 2), (1, 2)] {
+            rec.begin_shard_round(shard, round, round * 10);
+            rec.emit_on(shard, TraceEvent::SchedPick { client: shard });
+            rec.end_shard_round(shard, || (round, round, round));
+        }
+        let trace = rec.finish();
+
+        let rep = Tracer::replay(trace);
+        for (shard, round) in [(0u32, 1u64), (1, 1), (0, 2)] {
+            rep.begin_shard_round(shard, round, round * 10);
+            rep.emit_on(shard, TraceEvent::SchedPick { client: shard });
+            rep.end_shard_round(shard, || (round, round, round));
+        }
+        // Shard 1's second round picks the wrong client.
+        rep.begin_shard_round(1, 2, 20);
+        rep.emit_on(1, TraceEvent::SchedPick { client: 9 });
+        rep.end_shard_round(1, || (2, 2, 2));
+        let d = rep.divergence().expect("must diverge");
+        assert_eq!((d.shard, d.round), (1, 2), "{d}");
     }
 
     #[test]

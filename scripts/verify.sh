@@ -67,6 +67,18 @@ else
 fi
 echo "BENCH_integrity.json OK"
 
+# Shard-scale smoke: the sharded control plane must sweep 1→N shards
+# end to end, drain every pin, and replay the same seed to a bit-identical
+# outcome at 4 shards (DESIGN.md §17). The ≥3× goodput bar is full-mode
+# only — smoke workloads are too small for the speedup to be meaningful.
+SHARDSCALE_SMOKE=1 cargo bench -q -p copier-bench --offline --locked --bench fig_shardscale
+if command -v jq >/dev/null 2>&1; then
+    jq -e '(.sweep | length > 0) and ([.summary[] | select(.name == "shard_determinism")] | all(.value == 1))' BENCH_shardscale.json >/dev/null
+else
+    python3 -c 'import json,sys; d=json.load(open("BENCH_shardscale.json")); det=[r for r in d["summary"] if r["name"]=="shard_determinism"]; sys.exit(0 if d["sweep"] and det and all(r["value"]==1 for r in det) else 1)'
+fi
+echo "BENCH_shardscale.json OK"
+
 # Repro-corpus replay: every committed .cptr trace under tests/repros/
 # must replay through the current build without divergence — a frozen
 # regression net over the corruption-draw wire format and the service's
