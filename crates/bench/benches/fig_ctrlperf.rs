@@ -95,6 +95,7 @@ fn build_window(depth: usize, seed: u64) -> Window {
         len_max: 64 * 1024,
         // Generous horizon; the merged stream is truncated to `depth`.
         horizon: Nanos(2_000 * depth as u64),
+        ..Default::default()
     });
     let merged = plan.merged();
     assert!(merged.len() >= depth, "horizon too short for depth {depth}");

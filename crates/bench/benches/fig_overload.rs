@@ -88,6 +88,7 @@ pub fn run(load: f64, seed: u64, pressured: bool) -> Out {
         len_min: LEN_MIN,
         len_max: LEN_MAX,
         horizon: HORIZON,
+        ..Default::default()
     });
 
     // Buffers are pre-populated so physical allocation is static during

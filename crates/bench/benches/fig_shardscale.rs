@@ -102,6 +102,7 @@ fn run(shards: usize, tenants: usize, horizon: Nanos, load: f64, seed: u64) -> O
         len_min: LEN_MIN,
         len_max: LEN_MAX,
         horizon,
+        ..Default::default()
     });
 
     let mut handles = Vec::new();

@@ -18,6 +18,9 @@ pub struct Stats {
     pub p50: Nanos,
     /// 99th percentile.
     pub p99: Nanos,
+    /// 99.9th percentile (the soak benchmark's tail metric; equals the
+    /// maximum below 1000 samples under the ceiling-rank definition).
+    pub p999: Nanos,
     /// Minimum.
     pub min: Nanos,
     /// Maximum.
@@ -46,6 +49,7 @@ pub fn stats(samples: &mut [Nanos]) -> Stats {
         avg: Nanos(sum / n as u64),
         p50: pct(0.50),
         p99: pct(0.99),
+        p999: pct(0.999),
         min: samples[0],
         max: samples[n - 1],
         n,
@@ -98,8 +102,17 @@ mod tests {
         assert_eq!(s.avg, Nanos(50));
         assert_eq!(s.p50, Nanos(50)); // rank ⌈100·0.5⌉ = 50 → value 50
         assert_eq!(s.p99, Nanos(99)); // rank ⌈100·0.99⌉ = 99
+        assert_eq!(s.p999, Nanos(100)); // rank ⌈100·0.999⌉ = 100
         assert_eq!(s.min, Nanos(1));
         assert_eq!(s.max, Nanos(100));
+    }
+
+    #[test]
+    fn stats_p999_needs_a_thousand_samples_to_leave_the_max() {
+        let mut v: Vec<Nanos> = (1..=2000).map(Nanos).collect();
+        let s = stats(&mut v);
+        assert_eq!(s.p999, Nanos(1998)); // rank ⌈2000·0.999⌉ = 1998
+        assert_eq!(s.max, Nanos(2000));
     }
 
     #[test]

@@ -140,6 +140,15 @@ impl CopierHandle {
         Rc::clone(&self.svc.borrow())
     }
 
+    /// Submission doorbell: marks this client active on its shard so the
+    /// O(active) control plane (DESIGN.md §18) sees the freshly queued
+    /// work, then wakes the service. Used on every path that lands an
+    /// entry in a ring; paths that failed to land anything keep the
+    /// plain `awaken`.
+    fn doorbell(&self) {
+        self.svc().doorbell(&self.client);
+    }
+
     /// Synchronous fallback copies performed while the service was down.
     pub fn sync_fallbacks(&self) -> u64 {
         self.sync_fallbacks.get()
@@ -200,7 +209,7 @@ impl CopierHandle {
                 }
             }
         }
-        new_svc.awaken();
+        new_svc.doorbell(&self.client);
         n
     }
 
@@ -323,7 +332,7 @@ impl CopierHandle {
         if !opts.untracked {
             self.track(track_id, dst, len, Rc::clone(&descr));
         }
-        self.svc().awaken();
+        self.doorbell();
         Ok(descr)
     }
 
@@ -396,7 +405,7 @@ impl CopierHandle {
         if !opts.untracked {
             self.track(track_id, dst, len, Rc::clone(&descr));
         }
-        self.svc().awaken();
+        self.doorbell();
         Ok(descr)
     }
 
@@ -695,7 +704,7 @@ impl CopierHandle {
                 }
             }
         }
-        self.svc().awaken();
+        self.doorbell();
         // Spin briefly (the paper's polling wait), then yield the core in
         // slices — on a saturated machine a blocked csync must not starve
         // co-scheduled work (sched_yield behavior).
@@ -761,7 +770,7 @@ impl CopierHandle {
         loop {
             match set.uq.sync.push(entry) {
                 Ok(()) => {
-                    self.svc().awaken();
+                    self.doorbell();
                     return true;
                 }
                 Err(rejected) => {
@@ -880,6 +889,12 @@ impl CopierHandle {
                 peer_pos: set.uq.copy.pushed(),
             })
             .is_ok();
+        if placed {
+            // The barrier sits in the k-ring until drained: ring the
+            // doorbell so the O(active) fast path sees it even if no
+            // copy follows inside the section.
+            self.doorbell();
+        }
         KernelSection {
             lib: Rc::clone(self),
             fd,
@@ -902,7 +917,7 @@ impl CopierHandle {
                 })
                 .is_ok();
             if placed {
-                self.svc().awaken();
+                self.doorbell();
                 return Ok(());
             }
             self.backoff(core, attempt).await;
@@ -1053,7 +1068,7 @@ impl KernelSection {
             }
         }
         self.lib.track(dst_space.id(), dst, len, Rc::clone(&descr));
-        self.lib.svc().awaken();
+        self.lib.doorbell();
         Ok(descr)
     }
 
@@ -1082,12 +1097,15 @@ impl Drop for KernelSection {
         // barrier re-establishes the merge key, and no pending k-copies
         // exist outside sections. Callers needing the guarantee use
         // `close()`.
-        let _placed = set
+        let placed = set
             .kq
             .copy
             .push(QueueEntry::Barrier {
                 peer_pos: set.uq.copy.pushed(),
             })
             .is_ok();
+        if placed {
+            self.lib.doorbell();
+        }
     }
 }

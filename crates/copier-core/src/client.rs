@@ -268,6 +268,23 @@ pub struct Client {
     /// the client's address-space id; 0 on unsharded services. Every
     /// drain/schedule/finalize touch of this client happens on its shard.
     pub shard: Cell<usize>,
+    /// Registration sequence number (DESIGN.md §18): stamped by the
+    /// service at registration *and* adoption from a monotone counter, so
+    /// iterating clients in `reg_seq` order is exactly the clients-vec
+    /// (registration) order the legacy full sweep used — scheduler
+    /// tie-breaks stay identical under active-set iteration.
+    pub reg_seq: Cell<u64>,
+    /// Membership flag for the per-shard active set (O(1) idempotent
+    /// doorbell). Maintained only on the O(active) fast path.
+    pub active: Cell<bool>,
+    /// Cached per-client trace-hash contribution `(hp, hx)` plus a dirty
+    /// flag, for the delta-folded multi-shard trace hashes (§18). Only
+    /// meaningful while the service runs with a tracer, `shards > 1`, and
+    /// the fast path enabled.
+    pub hash_cache: Cell<(u64, u64)>,
+    /// Whether `hash_cache` is stale (client was touched since the last
+    /// fold). Guards duplicate entries in the shard's dirty list.
+    pub hash_dirty: Cell<bool>,
 }
 
 impl Client {
@@ -288,6 +305,10 @@ impl Client {
             pinned: Cell::new(0),
             epoch: Cell::new(0),
             shard: Cell::new(0),
+            reg_seq: Cell::new(0),
+            active: Cell::new(false),
+            hash_cache: Cell::new((0, 0)),
+            hash_dirty: Cell::new(false),
         })
     }
 

@@ -145,6 +145,16 @@ pub struct CopierConfig {
     /// count. Requires `cores.len() >= shards`, `auto_scale == false`,
     /// and NAPI polling.
     pub shards: usize,
+    /// Debug/reference switch (DESIGN.md §18): when `true`, every
+    /// control-plane read path falls back to the legacy full sweeps over
+    /// the whole client table (assignment rebuild each round, O(clients)
+    /// min-vruntime scans, O(clients × sets) autoscale load sums, full
+    /// trace-hash folds). The incremental aggregates are still
+    /// *maintained* either way — only the reads differ — so a full-sweep
+    /// run is the differential reference the O(active) fast path is
+    /// tested against. Outcomes and virtual time are identical in both
+    /// modes at fixed (seed, shards).
+    pub full_sweep: bool,
 }
 
 impl Default for CopierConfig {
@@ -180,6 +190,7 @@ impl Default for CopierConfig {
             admit_digest_stride: 0,
             scrub_period: 64,
             shards: 1,
+            full_sweep: false,
         }
     }
 }

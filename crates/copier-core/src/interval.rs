@@ -25,15 +25,17 @@ impl IntervalSet {
         s
     }
 
-    /// Inserts `[start, end)`, merging neighbours.
+    /// Inserts `[start, end)`, merging neighbours. Returns the number of
+    /// bytes newly covered (0 if the range was already fully present) so
+    /// callers can maintain incremental byte aggregates without a rescan.
     ///
     /// Binary-searches the touched window (the ranges overlapping or
     /// adjacent to the insertion), so progress bookkeeping on a task with
     /// many disjoint landed pieces costs O(log n) plus the size of that
     /// window — not a scan of every piece.
-    pub fn insert(&mut self, start: usize, end: usize) {
+    pub fn insert(&mut self, start: usize, end: usize) -> usize {
         if start >= end {
-            return;
+            return 0;
         }
         // First range that can merge: end >= start (adjacency included).
         let lo = self.ranges.partition_point(|&(_, e)| e < start);
@@ -46,19 +48,22 @@ impl IntervalSet {
         }
         if lo == hi {
             self.ranges.insert(lo, (start, end));
-            return;
+            return end - start;
         }
+        let absorbed: usize = self.ranges[lo..hi].iter().map(|&(s, e)| e - s).sum();
         let merged = (start.min(self.ranges[lo].0), end.max(self.ranges[hi - 1].1));
         self.ranges[lo] = merged;
         if hi - lo > 1 {
             self.ranges.drain(lo + 1..hi);
         }
+        (merged.1 - merged.0) - absorbed
     }
 
-    /// Removes `[start, end)` from the set.
-    pub fn remove(&mut self, start: usize, end: usize) {
+    /// Removes `[start, end)` from the set. Returns the number of bytes
+    /// actually removed (0 if the range was disjoint from the set).
+    pub fn remove(&mut self, start: usize, end: usize) -> usize {
         if start >= end {
-            return;
+            return 0;
         }
         // Window of ranges intersecting the removal (strict overlap only).
         let lo = self.ranges.partition_point(|&(_, e)| e <= start);
@@ -67,8 +72,12 @@ impl IntervalSet {
             hi += 1;
         }
         if lo == hi {
-            return;
+            return 0;
         }
+        let removed: usize = self.ranges[lo..hi]
+            .iter()
+            .map(|&(s, e)| e.min(end) - s.max(start))
+            .sum();
         // Up to two boundary slivers survive; splice them over the window
         // in place instead of rebuilding the whole vector.
         let (s_first, _) = self.ranges[lo];
@@ -76,6 +85,7 @@ impl IntervalSet {
         let left = (s_first < start).then_some((s_first, start));
         let right = (e_last > end).then_some((end, e_last));
         self.ranges.splice(lo..hi, left.into_iter().chain(right));
+        removed
     }
 
     /// Whether `[start, end)` is fully contained.
@@ -246,10 +256,14 @@ mod tests {
             let b = (rnd() % 512) as usize;
             let (lo, hi) = (a.min(b), a.max(b));
             if rnd() % 3 == 0 {
-                s.remove(lo, hi);
+                let delta = s.remove(lo, hi);
+                let expect = model[lo..hi].iter().filter(|&&b| b).count();
+                assert_eq!(delta, expect, "remove({lo},{hi}) delta");
                 model[lo..hi].iter_mut().for_each(|x| *x = false);
             } else {
-                s.insert(lo, hi);
+                let delta = s.insert(lo, hi);
+                let expect = model[lo..hi].iter().filter(|&&b| !b).count();
+                assert_eq!(delta, expect, "insert({lo},{hi}) delta");
                 model[lo..hi].iter_mut().for_each(|x| *x = true);
             }
             let total_model = model.iter().filter(|&&b| b).count();

@@ -42,5 +42,5 @@ pub use pendindex::{PendIndex, RangeKind};
 pub use ring::{Ring, RingFull};
 pub use sched::min_live_vruntime;
 pub use sched::{CGroup, Scheduler, DEFAULT_COPY_SLICE};
-pub use service::{stats_from_vec, stats_layout, stats_to_vec, Copier, CopierStats};
+pub use service::{stats_from_vec, stats_layout, stats_to_vec, ControlObs, Copier, CopierStats};
 pub use task::{CopyTask, Handler, Privilege, QueueEntry, SyncTask, TaskId};

@@ -47,7 +47,68 @@ type ByTidMap = Rc<RefCell<BTreeMap<TaskId, Rc<PendEntry>>>>;
 /// the dispatch progress map is cleared, not rebuilt.
 struct RoundScratch {
     clients: Vec<Rc<Client>>,
+    /// Assignment epoch the `clients` buffer was built at. While the
+    /// service-wide [`Copier::assign_epoch`] matches, the buffer is
+    /// reused as-is — a settled poll over a stable client population
+    /// costs O(1) list maintenance instead of an O(clients) rebuild.
+    epoch: u64,
+    /// Registration watermark latched at round start: the fast path only
+    /// admits clients with `reg_seq < watermark` into this round's lists,
+    /// mirroring the legacy snapshot semantics (a client registered
+    /// mid-round was absent from the round-start snapshot).
+    reg_watermark: u64,
     by_tid: ByTidMap,
+}
+
+impl RoundScratch {
+    fn new() -> Self {
+        RoundScratch {
+            clients: Vec::new(),
+            epoch: u64::MAX,
+            reg_watermark: u64::MAX,
+            by_tid: Rc::new(RefCell::new(BTreeMap::new())),
+        }
+    }
+}
+
+/// Host-side control-plane cost observables (DESIGN.md §18) — how much
+/// per-round work the service actually did, exposed so the soak bench
+/// and the differential suite can prove O(active) scaling instead of
+/// inferring it from wall clock. Not part of [`CopierStats`]: that
+/// vector's layout is frozen (journal checkpoints + trace state hashes),
+/// so new counters live here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlObs {
+    /// Clients entering a shard's active set (submission doorbell,
+    /// scrub heal, adoption).
+    pub activations: u64,
+    /// Clients leaving a shard's active set (fully settled at round end).
+    pub deactivations: u64,
+    /// Assignment-list rebuilds (epoch misses). Every legacy round paid
+    /// one; the fast path pays one per membership change.
+    pub assign_rebuilds: u64,
+    /// O(shard-clients) min-vruntime rescans (cache invalidations hit by
+    /// a read). The legacy path paid one per barrier and admission scan.
+    pub minvr_recomputes: u64,
+    /// `autoscale` invocations (must stay 0 on sharded services).
+    pub autoscale_calls: u64,
+    /// `autoscale` invocations that paid the O(clients × sets) load sweep
+    /// (full-sweep mode only; the fast path reads the pending aggregate).
+    pub autoscale_sweeps: u64,
+    /// Per-client trace-hash contributions re-folded (dirty clients at a
+    /// traced round close). The legacy path re-folded every client.
+    pub hash_refolds: u64,
+}
+
+#[derive(Default)]
+struct ObsCells {
+    activations: Cell<u64>,
+    deactivations: Cell<u64>,
+    assign_rebuilds: Cell<u64>,
+    minvr_recomputes: Cell<u64>,
+    autoscale_calls: Cell<u64>,
+    autoscale_sweeps: Cell<u64>,
+    hash_refolds: Cell<u64>,
 }
 
 /// Aggregate service statistics.
@@ -199,6 +260,31 @@ struct ShardState {
     tasks_completed: Cell<u64>,
     /// Rounds in which this shard executed a batch (stats delta).
     rounds_active: Cell<u64>,
+    /// Deterministic active set (DESIGN.md §18): the shard's clients with
+    /// unsettled state, keyed by `reg_seq` so iteration order equals the
+    /// legacy clients-vec (registration) order. Clients enter on the
+    /// submission doorbell (or scrub heal / adoption) and leave when
+    /// fully settled at round end. Maintained only on the fast path.
+    active: RefCell<BTreeMap<u64, Rc<Client>>>,
+    /// Incrementally maintained Σ `remaining()` over this shard's window
+    /// entries — the pending-byte load `autoscale` used to sweep for.
+    /// Maintained at every shard count and in both sweep modes.
+    pending: Cell<u64>,
+    /// Cached wrap-safe minimum live vruntime over this shard's clients,
+    /// with the count of clients sitting at that minimum. `min_valid`
+    /// false means stale (recomputed lazily on the next read); valid with
+    /// `min_count == 0` means "no live clients".
+    min_vr: Cell<u64>,
+    min_count: Cell<u64>,
+    min_valid: Cell<bool>,
+    /// Commutative per-shard trace-hash accumulators: wrapping sums of
+    /// every shard client's cached `(hp, hx)` contribution. Maintained
+    /// only while delta-folded hashing is on (tracer + `shards > 1` +
+    /// fast path).
+    hp_sum: Cell<u64>,
+    hx_sum: Cell<u64>,
+    /// Clients whose hash contribution went stale since the last fold.
+    hash_dirty: RefCell<Vec<Rc<Client>>>,
 }
 
 /// The asynchronous-copy OS service.
@@ -268,6 +354,15 @@ pub struct Copier {
     scrub_tick: Cell<u64>,
     /// Walk resume position (chunk index across all regions).
     scrub_pos: Cell<usize>,
+    /// Assignment epoch (DESIGN.md §18): bumped whenever the per-thread
+    /// assignment lists could change — register/reap/adopt, an
+    /// `active_threads` change, and active-set membership changes. Round
+    /// scratches compare against it to reuse their client lists.
+    assign_epoch: Cell<u64>,
+    /// Monotone registration sequence feeding [`Client::reg_seq`].
+    next_reg: Cell<u64>,
+    /// Control-plane cost observables (host-side, not in CopierStats).
+    obs: ObsCells,
 }
 
 impl Copier {
@@ -374,6 +469,9 @@ impl Copier {
             scrub: RefCell::new(Vec::new()),
             scrub_tick: Cell::new(0),
             scrub_pos: Cell::new(0),
+            assign_epoch: Cell::new(0),
+            next_reg: Cell::new(0),
+            obs: ObsCells::default(),
         })
     }
 
@@ -443,15 +541,323 @@ impl Copier {
         )
     }
 
-    /// Wrap-safe minimum live vruntime among shard `idx`'s clients —
-    /// what the shard publishes at the round barrier.
-    fn shard_min_vr(&self, idx: usize) -> Option<u64> {
-        min_live_vruntime(
-            self.clients
-                .borrow()
+    /// Snapshot of the control-plane cost observables (DESIGN.md §18).
+    pub fn control_obs(&self) -> ControlObs {
+        ControlObs {
+            activations: self.obs.activations.get(),
+            deactivations: self.obs.deactivations.get(),
+            assign_rebuilds: self.obs.assign_rebuilds.get(),
+            minvr_recomputes: self.obs.minvr_recomputes.get(),
+            autoscale_calls: self.obs.autoscale_calls.get(),
+            autoscale_sweeps: self.obs.autoscale_sweeps.get(),
+            hash_refolds: self.obs.hash_refolds.get(),
+        }
+    }
+
+    /// Cross-checks every incrementally maintained aggregate against a
+    /// from-scratch recomputation: the per-shard pending-byte total, the
+    /// cached min-vruntime (when valid), active-set completeness (on the
+    /// fast path every live inactive client must be settled), and —
+    /// under delta-folded hashing — the commutative hash sums after a
+    /// refold. Test instrumentation for the soak differential suite;
+    /// returns the first discrepancy as an error string. Host-side only:
+    /// charges no virtual time.
+    pub fn audit_aggregates(&self) -> Result<(), String> {
+        let clients = self.clients.borrow();
+        for (idx, sh) in self.shards.iter().enumerate() {
+            let swept: u64 = clients
                 .iter()
-                .filter(|c| c.shard.get() == idx),
-        )
+                .filter(|c| c.shard.get() == idx)
+                .map(|c| {
+                    let mut total = 0u64;
+                    let mut si = 0;
+                    while let Some(set) = c.set_at(si) {
+                        si += 1;
+                        total += set.pending_bytes() as u64;
+                    }
+                    total
+                })
+                .sum();
+            if swept != sh.pending.get() {
+                return Err(format!(
+                    "shard {idx}: pending aggregate {} != sweep {swept}",
+                    sh.pending.get()
+                ));
+            }
+            if sh.min_valid.get() {
+                let live = clients
+                    .iter()
+                    .filter(|c| c.shard.get() == idx && !c.dead.get());
+                match min_live_vruntime(live.clone()) {
+                    Some(m) => {
+                        let n = live.filter(|c| c.copied_total.get() == m).count() as u64;
+                        if sh.min_count.get() != n || sh.min_vr.get() != m {
+                            return Err(format!(
+                                "shard {idx}: min-vr cache ({}, {}) != sweep ({m}, {n})",
+                                sh.min_vr.get(),
+                                sh.min_count.get()
+                            ));
+                        }
+                    }
+                    None => {
+                        if sh.min_count.get() != 0 {
+                            return Err(format!(
+                                "shard {idx}: min-vr cache claims {} holder(s), none live",
+                                sh.min_count.get()
+                            ));
+                        }
+                    }
+                }
+            }
+            if self.fast_path() {
+                for c in clients.iter().filter(|c| c.shard.get() == idx) {
+                    if !c.dead.get() && !c.active.get() && !self.settled(c) {
+                        return Err(format!(
+                            "shard {idx}: inactive client {} holds unsettled work",
+                            c.id
+                        ));
+                    }
+                }
+            }
+            if self.hash_cached() {
+                self.refold_dirty(idx);
+                let (mut hp, mut hx) = (0u64, 0u64);
+                for c in clients.iter().filter(|c| c.shard.get() == idx) {
+                    let (p, x) = fold_client_commutative(c);
+                    hp = hp.wrapping_add(p);
+                    hx = hx.wrapping_add(x);
+                }
+                if (hp, hx) != (sh.hp_sum.get(), sh.hx_sum.get()) {
+                    return Err(format!(
+                        "shard {idx}: hash sums ({:#x}, {:#x}) != recompute ({hp:#x}, {hx:#x})",
+                        sh.hp_sum.get(),
+                        sh.hx_sum.get()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether rounds iterate per-shard active sets instead of the whole
+    /// client table. True for every sharded service and for the
+    /// single-service-core unsharded one; the unsharded *multi*-thread
+    /// service keeps full iteration (its positional `i % threads`
+    /// assignment has no per-shard home for an active set) — epoch-cached
+    /// assignment still applies there. `full_sweep` forces the legacy
+    /// reference behaviour everywhere.
+    fn fast_path(&self) -> bool {
+        !self.cfg.full_sweep && (self.nshards() > 1 || self.cores.len() == 1)
+    }
+
+    /// Whether per-shard trace hashes are maintained as delta-folded
+    /// per-client contributions (multi-shard traced fast path). The
+    /// single-shard hash chain keeps the legacy sequential fold — it is
+    /// pinned by the committed `.cptr` repro corpus.
+    fn hash_cached(&self) -> bool {
+        self.cfg.tracer.is_some() && self.nshards() > 1 && !self.cfg.full_sweep
+    }
+
+    /// Submission doorbell (DESIGN.md §18): marks `client` active on its
+    /// shard and wakes parked service threads. Called by libCopier after
+    /// every ring push; service-internal producers (scrub heals,
+    /// adoption) call [`Self::activate`] directly.
+    pub fn doorbell(&self, client: &Rc<Client>) {
+        self.activate(client);
+        self.awaken();
+    }
+
+    /// Inserts `client` into its shard's active set (fast path) and
+    /// marks its trace-hash contribution dirty (delta-folded hashing).
+    /// Idempotent and O(log active).
+    fn activate(&self, client: &Rc<Client>) {
+        if self.hash_cached() {
+            self.mark_hash_dirty(client);
+        }
+        if !self.fast_path() || client.active.get() || client.dead.get() {
+            return;
+        }
+        client.active.set(true);
+        self.shards[client.shard.get()]
+            .active
+            .borrow_mut()
+            .insert(client.reg_seq.get(), Rc::clone(client));
+        self.bump_assign_epoch();
+        self.obs.activations.set(self.obs.activations.get() + 1);
+    }
+
+    /// Removes `client` from its shard's active set (round-end settle
+    /// pass and reap).
+    fn deactivate(&self, client: &Rc<Client>) {
+        if !client.active.replace(false) {
+            return;
+        }
+        self.shards[client.shard.get()]
+            .active
+            .borrow_mut()
+            .remove(&client.reg_seq.get());
+        self.bump_assign_epoch();
+        self.obs.deactivations.set(self.obs.deactivations.get() + 1);
+    }
+
+    /// Whether `client` holds no unsettled control-plane state: all four
+    /// rings empty and no unfinished window entry. An inactive client in
+    /// this state is invisible to drain, sync, and scheduling in the
+    /// full-sweep reference too (empty rings drain nothing, `has_work` is
+    /// false, finished-but-unfinalized leftovers are never selected), so
+    /// skipping it is outcome- and virtual-time-identical.
+    fn settled(&self, client: &Client) -> bool {
+        let mut si = 0;
+        while let Some(set) = client.set_at(si) {
+            si += 1;
+            if !set.uq.copy.is_empty()
+                || !set.kq.copy.is_empty()
+                || !set.uq.sync.is_empty()
+                || !set.kq.sync.is_empty()
+            {
+                return false;
+            }
+            if set.pending.borrow().iter().any(|p| !p.finished()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn bump_assign_epoch(&self) {
+        self.assign_epoch
+            .set(self.assign_epoch.get().wrapping_add(1));
+    }
+
+    /// Marks `client`'s cached trace-hash contribution stale and queues
+    /// it for re-folding at the next traced round close.
+    fn mark_hash_dirty(&self, client: &Rc<Client>) {
+        if client.hash_dirty.replace(true) {
+            return;
+        }
+        self.shards[client.shard.get()]
+            .hash_dirty
+            .borrow_mut()
+            .push(Rc::clone(client));
+    }
+
+    /// Adds `len` bytes to the owning shard's pending-load aggregate
+    /// (Σ `remaining()` over window entries; maintained unconditionally).
+    fn shard_pending_add(&self, client: &Client, len: u64) {
+        let sh = &self.shards[client.shard.get()];
+        sh.pending.set(sh.pending.get() + len);
+    }
+
+    /// Inverse of [`Self::shard_pending_add`].
+    fn shard_pending_sub(&self, client: &Client, len: u64) {
+        let sh = &self.shards[client.shard.get()];
+        sh.pending.set(sh.pending.get().saturating_sub(len));
+    }
+
+    /// Folds a newly registered (or adopted) client's vruntime into its
+    /// shard's cached minimum. A stale cache stays stale — it recomputes
+    /// on the next read.
+    fn minvr_register(&self, client: &Client) {
+        let sh = &self.shards[client.shard.get()];
+        if !sh.min_valid.get() {
+            return;
+        }
+        let v = client.copied_total.get();
+        if sh.min_count.get() == 0 || vruntime_before(v, sh.min_vr.get()) {
+            sh.min_vr.set(v);
+            sh.min_count.set(1);
+        } else if v == sh.min_vr.get() {
+            sh.min_count.set(sh.min_count.get() + 1);
+        }
+    }
+
+    /// Removes a reaped client's vruntime from its shard's cached
+    /// minimum; losing the last min-holder invalidates (the new minimum
+    /// among the survivors is unknown without a scan).
+    fn minvr_reap(&self, client: &Client) {
+        let sh = &self.shards[client.shard.get()];
+        if !sh.min_valid.get() {
+            return;
+        }
+        if client.copied_total.get() == sh.min_vr.get() {
+            let n = sh.min_count.get().saturating_sub(1);
+            sh.min_count.set(n);
+            if n == 0 {
+                sh.min_valid.set(false);
+            }
+        }
+    }
+
+    /// Charges `bytes` to `client` through the scheduler while keeping
+    /// its shard's cached min-vruntime exact: the only vruntime that ever
+    /// *moves* is the charged client's, so the cache updates in O(1) —
+    /// idle tenants sitting at the minimum never force a rescan.
+    fn charge_client(&self, client: &Rc<Client>, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let old = client.copied_total.get();
+        self.sched.charge(client, bytes);
+        let sh = &self.shards[client.shard.get()];
+        if !sh.min_valid.get() {
+            return;
+        }
+        let new = client.copied_total.get();
+        if old == sh.min_vr.get() {
+            let n = sh.min_count.get().saturating_sub(1);
+            sh.min_count.set(n);
+            if n == 0 {
+                // The charged client may still be the minimum (nobody
+                // else was at it); a scan would be needed to know.
+                sh.min_valid.set(false);
+            }
+            return;
+        }
+        if new == sh.min_vr.get() {
+            sh.min_count.set(sh.min_count.get() + 1);
+        } else if vruntime_before(new, sh.min_vr.get()) {
+            sh.min_vr.set(new);
+            sh.min_count.set(1);
+        }
+    }
+
+    /// Wrap-safe minimum live vruntime among shard `idx`'s clients —
+    /// what the shard publishes at the round barrier and what the
+    /// least-served admission exemption compares against. Served from
+    /// the incremental cache unless `full_sweep` forces the reference
+    /// O(shard-clients) scan; a stale cache recomputes once and stays
+    /// warm until the next invalidating event.
+    fn shard_min_vr(&self, idx: usize) -> Option<u64> {
+        if self.cfg.full_sweep {
+            return min_live_vruntime(
+                self.clients
+                    .borrow()
+                    .iter()
+                    .filter(|c| c.shard.get() == idx),
+            );
+        }
+        let sh = &self.shards[idx];
+        if !sh.min_valid.get() {
+            self.obs
+                .minvr_recomputes
+                .set(self.obs.minvr_recomputes.get() + 1);
+            let clients = self.clients.borrow();
+            let live = clients
+                .iter()
+                .filter(|c| c.shard.get() == idx && !c.dead.get());
+            match min_live_vruntime(live.clone()) {
+                Some(m) => {
+                    let n = live.filter(|c| c.copied_total.get() == m).count() as u64;
+                    sh.min_vr.set(m);
+                    sh.min_count.set(n);
+                }
+                None => {
+                    sh.min_count.set(0);
+                }
+            }
+            sh.min_valid.set(true);
+        }
+        (sh.min_count.get() > 0).then(|| sh.min_vr.get())
     }
 
     /// Adds admitted bytes to the owning shard's slice of the global
@@ -499,17 +905,37 @@ impl Copier {
     /// every shard round with these is what lets replay divergence
     /// localize to a `(shard, round)` pair instead of "somewhere this
     /// generation".
+    ///
+    /// Multi-shard hashes are *commutative*: each client folds its own
+    /// state from a fresh FNV offset and the shard hash is the wrapping
+    /// sum of the per-client contributions. That shape admits the §18
+    /// delta fold — only clients touched since the last traced round
+    /// re-fold; the sums absorb the difference — while staying
+    /// order-independent, so the cached and full-recompute forms agree
+    /// bit for bit (checked by the soak differential suite). The
+    /// single-shard chain keeps the legacy sequential fold in
+    /// [`Self::trace_hashes`]: its values are pinned by the committed
+    /// `.cptr` repro corpus.
     fn shard_trace_hashes(&self, idx: usize) -> (u64, u64, u64) {
-        let mut hp = FNV_OFFSET;
-        let mut hx = FNV_OFFSET;
-        for c in self
-            .clients
-            .borrow()
-            .iter()
-            .filter(|c| c.shard.get() == idx)
-        {
-            fold_client_state(c, &mut hp, &mut hx);
-        }
+        let (hp, hx) = if self.hash_cached() {
+            self.refold_dirty(idx);
+            let sh = &self.shards[idx];
+            (sh.hp_sum.get(), sh.hx_sum.get())
+        } else {
+            let mut hp = 0u64;
+            let mut hx = 0u64;
+            for c in self
+                .clients
+                .borrow()
+                .iter()
+                .filter(|c| c.shard.get() == idx)
+            {
+                let (p, x) = fold_client_commutative(c);
+                hp = hp.wrapping_add(p);
+                hx = hx.wrapping_add(x);
+            }
+            (hp, hx)
+        };
         let sh = &self.shards[idx];
         let mut hs = FNV_OFFSET;
         for v in [
@@ -521,6 +947,29 @@ impl Copier {
             hs = fnv_fold(hs, v);
         }
         (hp, hx, hs)
+    }
+
+    /// Re-folds every dirty client on shard `idx` into the commutative
+    /// hash sums: subtract the cached contribution, fold the current
+    /// state, add it back. Cost is O(touched clients), not O(clients).
+    fn refold_dirty(&self, idx: usize) {
+        let sh = &self.shards[idx];
+        let dirty: Vec<Rc<Client>> = sh.hash_dirty.borrow_mut().drain(..).collect();
+        for c in dirty {
+            // A reap may have cleared the flag after the client was
+            // queued; its contribution is already out of the sums.
+            if !c.hash_dirty.replace(false) {
+                continue;
+            }
+            let (ohp, ohx) = c.hash_cache.get();
+            let (nhp, nhx) = fold_client_commutative(&c);
+            c.hash_cache.set((nhp, nhx));
+            sh.hp_sum
+                .set(sh.hp_sum.get().wrapping_sub(ohp).wrapping_add(nhp));
+            sh.hx_sum
+                .set(sh.hx_sum.get().wrapping_sub(ohx).wrapping_add(nhx));
+            self.obs.hash_refolds.set(self.obs.hash_refolds.get() + 1);
+        }
     }
 
     /// Canonical flattening of [`CopierStats`] — the single shape both
@@ -557,8 +1006,25 @@ impl Copier {
         c.set_credit_cap(self.cfg.admission.max_client_tasks);
         c.epoch.set(self.epoch.get());
         c.shard.set(self.shard_of_space(c.uspace.id()));
+        c.reg_seq.set(self.alloc_reg_seq());
         self.clients.borrow_mut().push(Rc::clone(&c));
+        self.minvr_register(&c);
+        if self.hash_cached() {
+            // A fresh client contributes a non-trivial fold (its empty
+            // index digests into hx), so the delta-folded sums must pick
+            // it up even if it never becomes active.
+            self.mark_hash_dirty(&c);
+        }
+        self.bump_assign_epoch();
         c
+    }
+
+    /// Allocates the next registration sequence number (also stamped at
+    /// adoption — clients-vec push order equals `reg_seq` order).
+    fn alloc_reg_seq(&self) -> u64 {
+        let s = self.next_reg.get();
+        self.next_reg.set(s + 1);
+        s
     }
 
     /// Wakes parked Copier threads (`copier_awaken`).
@@ -673,10 +1139,7 @@ impl Copier {
         // and refilled each round instead of reallocated. Each thread owns
         // its own, and a round's DMA callbacks all settle before
         // `execute_batch` returns, so clearing at the next round is safe.
-        let mut scratch = RoundScratch {
-            clients: Vec::new(),
-            by_tid: Rc::new(RefCell::new(BTreeMap::new())),
-        };
+        let mut scratch = RoundScratch::new();
         loop {
             if self.stopping.get() {
                 // Closing memory checkpoint: the trace ends with a full
@@ -691,11 +1154,19 @@ impl Copier {
                 }
                 return;
             }
-            // Auto-scaling park: threads beyond the active count sleep.
+            // Auto-scaling park: threads beyond the active count sleep. A
+            // notified wake must charge the kthread wakeup latency like the
+            // NAPI park below — `wake` can hold stored permits (doorbells
+            // that landed while every thread was busy), and a zero-cost
+            // retry loop here would spin without advancing virtual time,
+            // freezing the clock for every timer-bound task in the sim.
             if idx >= self.active_threads.get() {
                 self.parked.set(self.parked.get() + 1);
-                self.wake.wait_timeout(&self.h, Nanos::from_millis(1)).await;
+                let notified = self.wake.wait_timeout(&self.h, Nanos::from_millis(1)).await;
                 self.parked.set(self.parked.get() - 1);
+                if notified {
+                    core.advance(self.cfg.wake_latency).await;
+                }
                 continue;
             }
             // Scenario gate.
@@ -763,10 +1234,7 @@ impl Copier {
     async fn shard_loop(self: Rc<Self>, idx: usize) {
         let core = Rc::clone(&self.cores[idx]);
         let mut idle_streak = 0u32;
-        let mut scratch = RoundScratch {
-            clients: Vec::new(),
-            by_tid: Rc::new(RefCell::new(BTreeMap::new())),
-        };
+        let mut scratch = RoundScratch::new();
         let PollMode::Napi {
             spin_rounds,
             park_timeout,
@@ -882,27 +1350,73 @@ impl Copier {
         }
     }
 
+    /// Thread auto-scaling by pending-byte load. Unsharded-only by
+    /// construction (`shards > 1` forbids `auto_scale`, and only the
+    /// unsharded `thread_loop` calls this) — sharded rounds must never
+    /// pay for it, which `tests/soak_differential.rs` checks through
+    /// [`ControlObs::autoscale_calls`]. The load read is the incremental
+    /// pending aggregate unless `full_sweep` forces the legacy
+    /// O(clients × sets) sweep.
     fn autoscale(&self) {
-        let mut load = 0usize;
-        for c in self.clients.borrow().iter() {
-            for s in c.sets.borrow().iter() {
-                load += s.pending_bytes();
+        debug_assert_eq!(self.nshards(), 1, "autoscale is unsharded-only");
+        self.obs
+            .autoscale_calls
+            .set(self.obs.autoscale_calls.get() + 1);
+        let load = if self.cfg.full_sweep {
+            self.obs
+                .autoscale_sweeps
+                .set(self.obs.autoscale_sweeps.get() + 1);
+            let mut load = 0usize;
+            for c in self.clients.borrow().iter() {
+                for s in c.sets.borrow().iter() {
+                    load += s.pending_bytes();
+                }
             }
-        }
+            load
+        } else {
+            self.shards[0].pending.get() as usize
+        };
         let active = self.active_threads.get();
         if load > self.cfg.high_load && active < self.cores.len() {
             self.active_threads.set(active + 1);
+            self.bump_assign_epoch();
             self.wake.notify_all();
         } else if load < self.cfg.low_load && active > 1 {
             self.active_threads.set(active - 1);
+            self.bump_assign_epoch();
         }
     }
 
-    /// Refills `out` with this thread's client assignment. The buffer is
-    /// per-thread scratch, so a settled poll reuses its capacity instead
-    /// of allocating a fresh snapshot.
-    fn assigned_into(&self, idx: usize, out: &mut Vec<Rc<Client>>) {
+    /// Refreshes the thread's client assignment in `scratch` (epoch-
+    /// cached: a stable membership reuses the buffer untouched, so a
+    /// settled poll pays O(1) instead of an O(clients) rebuild).
+    ///
+    /// Fast path: the shard's active set, in `reg_seq` (= registration)
+    /// order, filtered by the round's registration watermark — exactly
+    /// the clients the legacy full snapshot would have found with any
+    /// unsettled state, in the same order (see [`Self::settled`] for the
+    /// equivalence argument). Legacy path: all clients (sharded: by
+    /// space-hash ownership; unsharded: positional round-robin over the
+    /// active threads).
+    fn assigned_into(&self, idx: usize, scratch: &mut RoundScratch) {
+        let ep = self.assign_epoch.get();
+        if scratch.epoch == ep {
+            return;
+        }
+        scratch.epoch = ep;
+        self.obs
+            .assign_rebuilds
+            .set(self.obs.assign_rebuilds.get() + 1);
+        let out = &mut scratch.clients;
         out.clear();
+        if self.fast_path() {
+            for (&seq, c) in self.shards[idx].active.borrow().iter() {
+                if seq < scratch.reg_watermark {
+                    out.push(Rc::clone(c));
+                }
+            }
+            return;
+        }
         if self.nshards() > 1 {
             // Sharded ownership is by space hash, not round-robin index:
             // a client's whole QueueSet state lives on exactly one shard
@@ -988,13 +1502,14 @@ impl Copier {
         core: &Rc<Core>,
         scratch: &mut RoundScratch,
     ) -> bool {
-        self.assigned_into(idx, &mut scratch.clients);
-        let clients = &scratch.clients;
         // 0. Background integrity (§integrity): one oracle rot draw per
         // round (zero PRNG draws unless `rot_prob` is enabled, so
         // rot-free runs are byte-identical), then the scrub walker. Both
         // are host-side — no virtual time is charged; heal copies enter
-        // the ordinary queues and pace like any other submission.
+        // the ordinary queues and pace like any other submission. The
+        // block runs *before* the assignment snapshot so a heal push
+        // (which activates its owner) is drained this round on the fast
+        // path exactly as the legacy all-clients snapshot would have.
         if idx == 0 {
             if let Some(plan) = &self.cfg.fault_plan {
                 if let Some(p) = plan.decide_rot() {
@@ -1009,8 +1524,28 @@ impl Copier {
                 }
             }
         }
+        // Snapshot boundary: clients registered after this point are
+        // invisible to this round on both paths (the legacy snapshot was
+        // taken here too). Stage-boundary refreshes below re-run the
+        // epoch check so a client *activated* mid-round (a push landing
+        // during an await) is drained by the later stages, matching the
+        // legacy snapshot's live ring reads.
+        scratch.reg_watermark = self.next_reg.get();
+        self.assigned_into(idx, scratch);
+        if self.hash_cached() {
+            // This round may mutate any assigned client's hashed state;
+            // clients activated mid-round are marked by their doorbell.
+            for c in scratch.clients.iter() {
+                if !c.hash_dirty.replace(true) {
+                    self.shards[c.shard.get()]
+                        .hash_dirty
+                        .borrow_mut()
+                        .push(Rc::clone(c));
+                }
+            }
+        }
         // 1. Drain queues into windows.
-        let mut drained = self.drain_assigned(clients);
+        let mut drained = self.drain_assigned(&scratch.clients);
         if drained > 0 {
             core.advance(Nanos(self.cfg.drain_cost.as_nanos() * drained as u64))
                 .await;
@@ -1020,7 +1555,8 @@ impl Copier {
             // adjacent tasks together.
             if self.cfg.aggregation_delay > Nanos::ZERO {
                 core.advance(self.cfg.aggregation_delay).await;
-                let more = self.drain_assigned(clients);
+                self.assigned_into(idx, scratch);
+                let more = self.drain_assigned(&scratch.clients);
                 if more > 0 {
                     core.advance(Nanos(self.cfg.drain_cost.as_nanos() * more as u64))
                         .await;
@@ -1029,8 +1565,9 @@ impl Copier {
             }
         }
         // 2. Sync queues (k-mode before u-mode, §4.2.2).
+        self.assigned_into(idx, scratch);
         let mut synced = 0usize;
-        for c in clients {
+        for c in scratch.clients.iter() {
             let mut si = 0;
             while let Some(set) = c.set_at(si) {
                 si += 1;
@@ -1079,8 +1616,11 @@ impl Copier {
         }
         // 3. Schedule a client.
         let now = self.h.now();
-        let Some(client) = self.sched.pick(clients, now, self.cfg.lazy_period) else {
+        self.assigned_into(idx, scratch);
+        let picked = self.sched.pick(&scratch.clients, now, self.cfg.lazy_period);
+        let Some(client) = picked else {
             self.stats.borrow_mut().rounds_settled += 1;
+            self.settle_pass(idx, scratch);
             return drained + synced > 0;
         };
         self.temit(
@@ -1091,22 +1631,54 @@ impl Copier {
         let selected = self.select_batch(&client, now);
         if selected.is_empty() {
             self.stats.borrow_mut().rounds_settled += 1;
+            self.settle_pass(idx, scratch);
             return drained + synced > 0;
         }
-        self.stats.borrow_mut().rounds_active += 1;
-        {
+        // 5–7. Plan, dispatch, complete. A batch whose every selected gap
+        // is already in flight (a peer thread's open round holds it across
+        // an autoscale reassignment) plans nothing and charges nothing —
+        // count that round as settled, not active, so the thread takes the
+        // idle path and the clock can advance to the peer's completion.
+        let acted = self.execute(core, &client, selected, &scratch.by_tid).await;
+        if acted {
+            self.stats.borrow_mut().rounds_active += 1;
             let sh = &self.shards[client.shard.get()];
             sh.rounds_active.set(sh.rounds_active.get() + 1);
+        } else {
+            self.stats.borrow_mut().rounds_settled += 1;
         }
-        // 5–7. Plan, dispatch, complete.
-        self.execute(core, &client, selected, &scratch.by_tid).await;
         // Completion records staged by finalize become durable at round
         // end; a crash inside `execute` loses them and the tasks replay
         // as live, to be reconciled by digest at adoption.
         if !self.crashed.get() {
             self.journal_flush();
         }
-        true
+        self.settle_pass(idx, scratch);
+        acted || drained + synced > 0
+    }
+
+    /// Round-end active-set maintenance (fast path only): every assigned
+    /// client that ended the round fully settled leaves the shard's
+    /// active set. Aborted-but-unfinalized leftovers are inert (never
+    /// selected; reclaimed by reap), so a settled client generates no
+    /// control-plane work until its next doorbell.
+    fn settle_pass(&self, idx: usize, scratch: &mut RoundScratch) {
+        if !self.fast_path() {
+            return;
+        }
+        self.assigned_into(idx, scratch);
+        // Collect-then-deactivate: deactivation mutates the active map
+        // the scratch list mirrors, and bumps the epoch so the next
+        // round rebuilds.
+        let settled: Vec<Rc<Client>> = scratch
+            .clients
+            .iter()
+            .filter(|c| self.settled(c))
+            .cloned()
+            .collect();
+        for c in &settled {
+            self.deactivate(c);
+        }
     }
 
     /// Drains one queue set's copy queues into its pending window,
@@ -1221,24 +1793,32 @@ impl Copier {
         // Wrap-safe minimum: a client is least-served iff no live client
         // is strictly before it in vruntime order. A plain `min()` would
         // misrank a freshly wrapped accumulator (see `vruntime_before`).
+        // "No live client strictly before `cur`" is equivalent to "the
+        // live minimum is not strictly before `cur`" (the scan includes
+        // `client` itself, and so does the cached minimum), which is what
+        // lets the incremental min-vruntime cache answer in O(1).
         let cur = client.copied_total.get();
         if self.nshards() > 1 {
             // The exemption stays *global* under sharding: own-shard
-            // clients are scanned live, peers through the minimum each
-            // shard published at the last barrier — deterministic, and
-            // stale by at most one generation.
+            // clients through the live minimum, peers through the minimum
+            // each shard published at the last barrier — deterministic,
+            // and stale by at most one generation.
             let sh = &self.shards[client.shard.get()];
             if let Some(pm) = sh.peer_min_vr.get() {
                 if vruntime_before(pm, cur) {
                     return false;
                 }
             }
-            return !self
-                .clients
-                .borrow()
-                .iter()
-                .filter(|c| !c.dead.get() && c.shard.get() == client.shard.get())
-                .any(|c| vruntime_before(c.copied_total.get(), cur));
+            return match self.shard_min_vr(client.shard.get()) {
+                Some(m) => !vruntime_before(m, cur),
+                None => true,
+            };
+        }
+        if !self.cfg.full_sweep {
+            return match self.shard_min_vr(0) {
+                Some(m) => !vruntime_before(m, cur),
+                None => true,
+            };
         }
         !self
             .clients
@@ -1382,6 +1962,8 @@ impl Copier {
         client.inflight_bytes.set(client.inflight_bytes.get() + len);
         self.global_bytes.set(self.global_bytes.get() + len);
         self.shard_bytes_add(client, len);
+        // A fresh entry's remaining() is its full length.
+        self.shard_pending_add(client, len);
     }
 
     /// Serves one Sync Task: promotion (with dependency closure) or abort.
@@ -1631,15 +2213,22 @@ impl Copier {
         client: &Rc<Client>,
         sel: Vec<Selected>,
         by_tid: &ByTidMap,
-    ) {
+    ) -> bool {
         let now = self.h.now();
         if self.pm.pressure() {
-            self.execute_degraded(core, client, &sel, now).await;
-            return;
+            return self.execute_degraded(core, client, &sel, now).await;
         }
         let mut planned: Vec<PlannedCopy> = Vec::new();
         by_tid.borrow_mut().clear();
         let mut planned_bytes = 0usize;
+        // Whether this call did anything observable (planned bytes, took a
+        // fault, crashed). A batch can select entries yet plan nothing —
+        // every selected gap already in flight from a peer thread's open
+        // round after an autoscale reassignment — and such a call charges
+        // no virtual time, so the caller must treat the round as idle or a
+        // hot thread could spin at a frozen clock waiting for the peer's
+        // completion timer that only an idle park lets fire.
+        let mut acted = false;
 
         for s in &sel {
             let e = &s.entry;
@@ -1651,7 +2240,19 @@ impl Copier {
             if gaps.is_empty() {
                 continue;
             }
-            match self.plan_entry(core, client, e, &s.plan, &gaps).await {
+            let plan_res = self.plan_entry(core, client, e, &s.plan, &gaps).await;
+            if self.crashed.get() {
+                // Zombie resume: a peer shard crashed this incarnation
+                // while `plan_entry` was suspended in translate/pin. Pins
+                // taken after adoption's release sweep would never be
+                // drained again (the successor may have finalized the
+                // entry already), so release the whole batch now and
+                // abandon the round — a crashed kernel dispatches
+                // nothing.
+                self.drain_batch_pins(client, &sel);
+                return true;
+            }
+            match plan_res {
                 Ok(pc) => {
                     let deferred_exec: usize = {
                         let d = e.deferred.borrow();
@@ -1664,8 +2265,11 @@ impl Copier {
                     self.stats.borrow_mut().bytes_deferred_executed += deferred_exec as u64;
                     planned_bytes += pc.subtasks.iter().map(|st| st.len()).sum::<usize>();
                     for &(lo, hi) in &gaps {
-                        e.inflight.borrow_mut().insert(lo, hi);
+                        let inflight = e.inflight.borrow_mut().insert(lo, hi);
                         e.deferred.borrow_mut().remove(lo, hi);
+                        // In-flight bytes leave the pending-load aggregate
+                        // (remaining() excludes them).
+                        self.shard_pending_sub(client, inflight as u64);
                     }
                     by_tid.borrow_mut().insert(e.tid, Rc::clone(e));
                     planned.push(pc);
@@ -1680,30 +2284,60 @@ impl Copier {
                     self.stats.borrow_mut().faults += 1;
                     self.finalize(client, &s.set, e);
                     self.cascade_fault(&s.set, client, e, fault);
+                    acted = true;
                 }
             }
         }
 
-        // Crash point: planned and pinned, nothing dispatched yet. Pins
-        // are recorded on the window entries (client-owned memory), so
-        // adoption can release every one of them.
+        // Crash point: planned and pinned, nothing dispatched yet. The
+        // batch's pins are released on the spot — adoption also sweeps
+        // window-entry pins, but no successor ever adopts when the crash
+        // lands as the run winds down (tenants fail fast on a dead
+        // service), and nothing else would unpin these frames.
         if self.maybe_crash(CrashPoint::MidDispatch) {
-            return;
+            self.drain_batch_pins(client, &sel);
+            return true;
         }
         if !planned.is_empty() {
             let map = Rc::clone(by_tid);
+            let me = Rc::downgrade(self);
+            let shard = client.shard.get();
             let progress: ProgressFn = Rc::new(move |tid, off, len| {
+                // A dead incarnation processes no completions: once this
+                // service has crashed, a late DMA landing must not mark
+                // the (shared, adoption-surviving) entry or any segment.
+                // The successor re-adds `remaining()` at adoption and
+                // re-copies unmarked gaps idempotently; letting the old
+                // kernel mark bytes after that point would silently
+                // shrink `remaining()` under the successor's aggregate.
+                let Some(svc) = me.upgrade() else { return };
+                if svc.crashed.get() {
+                    return;
+                }
                 // Clone out of the map before marking: the short borrow
                 // never outlives the callback's own bookkeeping.
                 let entry = map.borrow().get(&tid).cloned();
                 if let Some(e) = entry {
-                    mark_progress(&e, off, len);
+                    let (added, removed) = mark_progress(&e, off, len);
+                    // DMA-path progress moves bytes inflight → copied, so
+                    // the net pending-load delta is usually zero; the
+                    // arithmetic stays exact for partial overlaps.
+                    let sh = &svc.shards[shard];
+                    let p = sh.pending.get() + removed as u64;
+                    sh.pending.set(p.saturating_sub(added as u64));
                 }
             });
             let report = self
                 .dispatcher
                 .execute_batch(core, &planned, progress)
                 .await;
+            // Peer crash while the batch was in flight: a dead kernel
+            // records nothing and completes nothing. Drop the report,
+            // release the batch's pins, and abandon the round.
+            if self.crashed.get() {
+                self.drain_batch_pins(client, &sel);
+                return true;
+            }
             {
                 let mut st = self.stats.borrow_mut();
                 st.bytes_copied += (report.cpu_bytes + report.dma_bytes) as u64;
@@ -1748,7 +2382,7 @@ impl Copier {
                 self.finalize(client, &s.set, e);
                 self.cascade_fault(&s.set, client, e, fault);
             }
-            self.sched.charge(client, planned_bytes);
+            self.charge_client(client, planned_bytes);
         }
 
         // Crash point: bytes landed (descriptor segments are marked, the
@@ -1756,7 +2390,8 @@ impl Copier {
         // no credit, no Complete record. Adoption finds these entries
         // finished and settles them exactly once.
         if self.maybe_crash(CrashPoint::PreFinalize) {
-            return;
+            self.drain_batch_pins(client, &sel);
+            return true;
         }
         // Completion pass.
         for s in sel.iter() {
@@ -1764,6 +2399,7 @@ impl Copier {
                 self.finalize(client, &s.set, &s.entry);
             }
         }
+        acted || !planned.is_empty()
     }
 
     /// Executes a selected batch synchronously under memory pressure —
@@ -1779,8 +2415,11 @@ impl Copier {
         client: &Rc<Client>,
         sel: &[Selected],
         now: Nanos,
-    ) {
+    ) -> bool {
         let mut degraded_bytes = 0usize;
+        // Same contract as `execute`: report whether anything was done so
+        // an all-in-flight batch registers as an idle round.
+        let mut acted = false;
         for s in sel {
             let e = &s.entry;
             if e.finished() {
@@ -1791,7 +2430,8 @@ impl Copier {
             if gaps.is_empty() {
                 continue;
             }
-            match self.degraded_copy(core, e, &s.plan, &gaps).await {
+            acted = true;
+            match self.degraded_copy(core, client, e, &s.plan, &gaps).await {
                 Ok(copied) => {
                     degraded_bytes += copied;
                     {
@@ -1813,13 +2453,14 @@ impl Copier {
             }
         }
         if degraded_bytes > 0 {
-            self.sched.charge(client, degraded_bytes);
+            self.charge_client(client, degraded_bytes);
         }
         for s in sel {
             if s.entry.finished() {
                 self.finalize(client, &s.set, &s.entry);
             }
         }
+        acted
     }
 
     /// One entry's gaps, copied synchronously page by page. Pages are
@@ -1830,6 +2471,7 @@ impl Copier {
     async fn degraded_copy(
         &self,
         core: &Rc<Core>,
+        client: &Rc<Client>,
         e: &Rc<PendEntry>,
         plan: &AbsorbPlan,
         gaps: &[(usize, usize)],
@@ -1870,7 +2512,11 @@ impl Copier {
                     core.advance(cost).await;
                     self.pm
                         .copy(df, dst_va.page_off(), sf, src_va.page_off(), take);
-                    mark_progress(e, off, take);
+                    let (added, removed) = mark_progress(e, off, take);
+                    // Degraded-path bytes were never in flight, so the
+                    // pending load drops by what landed.
+                    self.shard_pending_add(client, removed as u64);
+                    self.shard_pending_sub(client, added as u64);
                     copied += take;
                     off += take;
                 }
@@ -1930,6 +2576,26 @@ impl Copier {
         })
     }
 
+    /// Releases every pin a crashed round's batch still holds. A crashed
+    /// incarnation exits `execute` through one of its crash checks with
+    /// planned-but-unfinalized entries; adoption also sweeps window-entry
+    /// pins, but when the crash lands as the run winds down no successor
+    /// is ever installed, so the round must clean up after itself.
+    /// Draining is idempotent against adoption's sweep — whoever runs
+    /// second finds the vectors empty.
+    fn drain_batch_pins(&self, client: &Rc<Client>, sel: &[Selected]) {
+        let mut unpinned = 0u64;
+        for s in sel {
+            for (space, frames) in s.entry.pins.borrow_mut().drain(..) {
+                unpinned += frames.len() as u64;
+                space.unpin_frames(&frames);
+            }
+        }
+        client
+            .pinned
+            .set(client.pinned.get().saturating_sub(unpinned));
+    }
+
     /// Completes a task: handlers, unpinning, window removal. Idempotent:
     /// only the first caller runs the handler; pins drain on every call
     /// (a planner racing an orphan sweep may append pins to an
@@ -1946,6 +2612,9 @@ impl Copier {
         if e.finalized.replace(true) {
             return;
         }
+        // The entry leaves the window below; whatever it still had
+        // outstanding leaves the pending-load aggregate with it.
+        self.shard_pending_sub(client, e.remaining() as u64);
         let fault_code = match (e.aborted.get(), e.failed.get()) {
             (_, Some(f)) => copy_fault_code(f),
             (true, None) => copy_fault_code(CopyFault::Aborted),
@@ -2135,7 +2804,7 @@ impl Copier {
     /// drained, and the client is unregistered. Returns the number of
     /// orphaned tasks reclaimed.
     pub fn reap_client(&self, client: &Rc<Client>) -> u64 {
-        client.dead.set(true);
+        let was_dead = client.dead.replace(true);
         let mut reclaimed = 0u64;
         let mut si = 0;
         while let Some(set) = client.set_at(si) {
@@ -2183,7 +2852,26 @@ impl Copier {
         client.inflight_bytes.set(0);
         client.pinned.set(0);
         client.credits.set(client.credit_cap.get());
+        // Incremental-aggregate exits (DESIGN.md §18): the client leaves
+        // the active set, the cached min-vruntime, and — when delta-folded
+        // hashing is on — the shard hash sums. Its window is empty now
+        // (the sweep above finalized everything), so the pending
+        // aggregate already dropped through finalize.
+        self.deactivate(client);
+        if !was_dead {
+            self.minvr_reap(client);
+        }
+        if self.hash_cached() {
+            let sh = &self.shards[client.shard.get()];
+            let (hp, hx) = client.hash_cache.get();
+            sh.hp_sum.set(sh.hp_sum.get().wrapping_sub(hp));
+            sh.hx_sum.set(sh.hx_sum.get().wrapping_sub(hx));
+            client.hash_cache.set((0, 0));
+            // The flag stays false so a stale dirty-list entry is skipped.
+            client.hash_dirty.set(false);
+        }
         self.clients.borrow_mut().retain(|c| !Rc::ptr_eq(c, client));
+        self.bump_assign_epoch();
         // The dead client's scrub registrations go with it: any queued
         // heal task was just reaped above (poisoned `Aborted`, pins
         // released through finalize), and the walker must not keep
@@ -2358,6 +3046,12 @@ impl Copier {
                 // Ring full: the heal is shed-able by design; the chunk
                 // stays live and the walker retries next period.
                 r.healing[ci].set(false);
+            } else {
+                // The heal re-activates an idle owner exactly like a
+                // client submission would (the walk runs before the
+                // round's assignment snapshot, so the heal drains this
+                // round on both paths).
+                self.activate(&client);
             }
             return;
         }
@@ -2404,7 +3098,24 @@ impl Copier {
         // Re-stamp shard ownership under this incarnation: the hash is
         // stable, but the successor may run a different shard count.
         client.shard.set(self.shard_of_space(client.uspace.id()));
+        // Fresh control-plane identity under the successor: a new
+        // registration sequence (clients-vec order stays reg_seq order)
+        // and clean incremental-aggregate state — the dead service's
+        // active flag and hash cache mean nothing to this incarnation.
+        client.reg_seq.set(self.alloc_reg_seq());
+        client.active.set(false);
+        client.hash_cache.set((0, 0));
+        client.hash_dirty.set(false);
         self.clients.borrow_mut().push(Rc::clone(client));
+        self.minvr_register(client);
+        if self.hash_cached() {
+            self.mark_hash_dirty(client);
+        }
+        // The adopted window may hold unfinished entries with no ring
+        // push to doorbell them; activation here keeps the fast path's
+        // invariant (unsettled ⇒ active).
+        self.activate(client);
+        self.bump_assign_epoch();
         let recovered = self.recovered.borrow();
         let empty = BTreeMap::new();
         let live = recovered.as_ref().map_or(&empty, |r| &r.live);
@@ -2451,6 +3162,11 @@ impl Copier {
                     continue;
                 }
                 present.insert(e.tid);
+                // The kept entry re-enters this incarnation's pending-load
+                // aggregate (remaining() computed after the in-flight
+                // clear above); finalize below subtracts it back for the
+                // finished ones, balancing exactly.
+                self.shard_pending_add(client, e.remaining() as u64);
                 if e.finished() {
                     finish.push((Rc::clone(&set), e));
                 } else {
@@ -2559,6 +3275,21 @@ impl Copier {
 /// order inside the index), so equal states hash equal regardless of how
 /// they were reached.
 fn fold_client_state(c: &Rc<Client>, hp: &mut u64, hx: &mut u64) {
+    fold_client_state_inner(c, hp, hx)
+}
+
+/// One client's contribution to the commutative multi-shard hashes:
+/// the same per-client fold as [`fold_client_state`], but from a fresh
+/// FNV offset so contributions can be summed (and later subtracted)
+/// independently of iteration order.
+fn fold_client_commutative(c: &Rc<Client>) -> (u64, u64) {
+    let mut hp = FNV_OFFSET;
+    let mut hx = FNV_OFFSET;
+    fold_client_state_inner(c, &mut hp, &mut hx);
+    (hp, hx)
+}
+
+fn fold_client_state_inner(c: &Rc<Client>, hp: &mut u64, hx: &mut u64) {
     let mut si = 0;
     while let Some(set) = c.set_at(si) {
         si += 1;
@@ -2619,17 +3350,17 @@ fn mem_fault(e: MemError) -> CopyFault {
 /// a no-op: the old `(end - 1) / seg` then `num_segments() - 1` span math
 /// underflowed for empty ranges — debug builds panicked, release builds
 /// wrapped to a huge segment index and tripped the `mark` bounds assert.
-fn mark_progress(e: &Rc<PendEntry>, off: usize, len: usize) {
+fn mark_progress(e: &Rc<PendEntry>, off: usize, len: usize) -> (usize, usize) {
     let end = (off + len).min(e.task.len);
     if end <= off {
-        return;
+        return (0, 0);
     }
-    e.copied.borrow_mut().insert(off, end);
-    e.inflight.borrow_mut().remove(off, end);
+    let added = e.copied.borrow_mut().insert(off, end);
+    let removed = e.inflight.borrow_mut().remove(off, end);
     let d = &e.task.descr;
     let nsegs = d.num_segments();
     if nsegs == 0 {
-        return;
+        return (added, removed);
     }
     let seg = d.segment_size();
     let first = off / seg;
@@ -2641,6 +3372,7 @@ fn mark_progress(e: &Rc<PendEntry>, off: usize, len: usize) {
             d.mark(i);
         }
     }
+    (added, removed)
 }
 
 /// Wire encoding of a `CopyFault` for trace and journal records

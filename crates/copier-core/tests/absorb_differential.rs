@@ -173,13 +173,17 @@ fn build(specs: &[TaskSpec]) -> Vec<Rc<PendEntry>> {
                 let mut copied = e.copied.borrow_mut();
                 match s.copied_sel % 5 {
                     0 => {}
-                    1 => copied.insert(0, (len / 3).max(1)),
+                    1 => {
+                        copied.insert(0, (len / 3).max(1));
+                    }
                     2 => {
                         let lo = len / 4;
                         let hi = (3 * len / 4).max(lo + 1).min(len);
                         copied.insert(lo, hi);
                     }
-                    3 => copied.insert(0, len),
+                    3 => {
+                        copied.insert(0, len);
+                    }
                     _ => {
                         let chunk = (len / 8).max(1).min(len);
                         copied.insert(0, chunk);

@@ -222,7 +222,7 @@ impl PhysMem {
         assert!(rc > 0, "decref of free frame {f:?}");
         slot.refcnt.set(rc - 1);
         if rc == 1 {
-            assert_eq!(slot.pins.get(), 0, "freeing a pinned frame");
+            assert_eq!(slot.pins.get(), 0, "freeing a pinned frame {f:?}");
             self.free.borrow_mut().push(f);
             self.allocated.set(self.allocated.get() - 1);
         }

@@ -39,4 +39,4 @@ pub use rng::{stream_seed, SimRng};
 pub use sync::{Chan, Notify};
 pub use time::Nanos;
 pub use trace::{Divergence, Trace, TraceEvent, Tracer};
-pub use workload::{Arrival, WorkloadConfig, WorkloadPlan};
+pub use workload::{Arrival, ArrivalDist, LenDist, WorkloadConfig, WorkloadPlan};

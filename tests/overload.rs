@@ -83,6 +83,7 @@ fn run(load: f64, seed: u64, admission: AdmissionConfig, pressured: bool) -> Out
         len_min: LEN_MIN,
         len_max: LEN_MAX,
         horizon: HORIZON,
+        ..Default::default()
     });
 
     let mut tenants = Vec::new();
